@@ -1,0 +1,3 @@
+"""The benchmark suite: one module per paper table/figure, plus
+ablations.  See DESIGN.md section 4 for the experiment index and
+EXPERIMENTS.md for paper-vs-measured results."""

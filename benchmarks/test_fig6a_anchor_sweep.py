@@ -1,0 +1,70 @@
+"""Figure 6(a) — the anchor-interval trade-off on TPC-DS.
+
+The paper sweeps the anchor interval ``u`` from 1 to 1000 on the
+TPC-DS evolution data and reports the two monotone curves: storage
+consumption *decreases* with ``u`` (fewer full-object anchors) while
+time-point query latency *increases* (longer backward-diff replay
+chains; paper: u=1 is 2.23x faster than u=100).  The recommended
+balance is u=10.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import AeonGBackend
+from repro.workloads import tpcds
+from repro.workloads.driver import WorkloadDriver
+from benchmarks.conftest import write_report
+
+INTERVALS = (1, 10, 100, 1000)
+REPS = 150
+
+
+def test_fig6a_anchor_interval_tradeoff(benchmark):
+    dataset = tpcds.generate(customers=40, items=60, updates=5000, seed=11)
+    storage: dict[int, int] = {}
+    latency: dict[int, float] = {}
+
+    def run():
+        for interval in INTERVALS:
+            backend = AeonGBackend(
+                anchor_interval=interval, gc_interval_transactions=400
+            )
+            driver = WorkloadDriver(backend, seed=31)
+            driver.apply(dataset.ops)
+            driver.finish_load()
+            storage[interval] = backend.storage_bytes()
+            # Warm every customer's record cache so the measurement is
+            # steady-state reconstruction cost, not one-time decodes.
+            mid = backend.to_query_time(dataset.last_ts // 2)
+            for customer in dataset.customer_ids:
+                backend.vertex_at(customer, mid)
+                backend.vertex_at(customer, mid // 2)
+            batch = driver.run_vertex_lookups(dataset.customer_ids, REPS)
+            latency[interval] = batch.latency.p50_us
+        return storage
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Figure 6(a): anchor interval u vs storage and query time"]
+    lines.append(f"{'u':>6}{'storage bytes':>16}{'p50 lookup us':>16}")
+    for interval in INTERVALS:
+        lines.append(
+            f"{interval:>6}{storage[interval]:>16,}{latency[interval]:>16,.0f}"
+        )
+    lines.append(
+        f"storage u=1 / u=1000: {storage[1] / storage[1000]:.2f}x "
+        "(paper: 1.9x)"
+    )
+    lines.append(
+        f"latency u=100 / u=1: {latency[100] / latency[1]:.2f}x "
+        "(paper: 2.23x)"
+    )
+    print("\n" + write_report("fig6a_anchor_sweep", lines))
+
+    # Monotone shapes (paper Figure 6(a)).
+    assert storage[1] > storage[10] > storage[100] >= storage[1000]
+    assert latency[1] < latency[100]
+    assert latency[10] <= latency[1000]
+    assert storage[1] / storage[1000] > 1.2
+    benchmark.extra_info["storage"] = storage
+    benchmark.extra_info["latency_us"] = latency

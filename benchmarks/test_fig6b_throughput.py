@@ -1,0 +1,126 @@
+"""Figure 6(b) — transaction throughput with vs. without temporal
+support (TGDB vs TGDB-noT).
+
+The paper runs an LDBC transaction mix at 1..32 client threads and
+shows the temporal extension costs almost nothing — throughput drops
+by only 1.2% — because history is captured from data MVCC produces
+anyway and migrated asynchronously, in batch, at garbage-collection
+time.
+
+This bench reproduces the setup: a read-dominated LDBC-interactive-
+style mix (reads vastly outnumber updates), garbage collection running
+on a background thread in both configurations (vanilla Memgraph also
+GCs; only the migration step differs).  Thread counts are scaled to
+the GIL-bound interpreter, where the background migration thread
+steals interpreter time instead of a spare core — so the asserted
+bound is looser than the paper's 1.2% but still requires the temporal
+hook to be structurally cheap on the commit path.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+from repro import AeonG
+from repro.errors import SerializationConflict
+from benchmarks.conftest import write_report
+
+THREADS = (1, 2, 4)
+OPS_PER_THREAD = 500
+VERTICES = 300
+#: LDBC interactive is read-dominated; 1-in-10 transactions update.
+UPDATE_SHARE = 0.1
+
+
+def _run_mix(temporal: bool, threads: int) -> float:
+    """Returns committed transactions/second for the mix."""
+    db = AeonG(
+        temporal=temporal,
+        anchor_interval=10,
+        gc_interval_transactions=0,
+    )
+    with db.transaction() as txn:
+        gids = [
+            db.create_vertex(txn, ["Person"], {"slot": i, "v": 0})
+            for i in range(VERTICES)
+        ]
+    db.start_background_gc(interval_seconds=0.02)
+
+    committed = [0] * threads
+
+    def worker(worker_id: int) -> None:
+        rng = random.Random(worker_id)
+        done = 0
+        while done < OPS_PER_THREAD:
+            txn = db.begin()
+            try:
+                if rng.random() < UPDATE_SHARE:
+                    gid = gids[rng.randrange(len(gids))]
+                    db.set_vertex_property(txn, gid, "v", done)
+                else:
+                    # A short read transaction: point lookups plus a
+                    # one-hop worth of property reads.
+                    for _ in range(6):
+                        gid = gids[rng.randrange(len(gids))]
+                        view = db.get_vertex(txn, gid)
+                        if view is not None:
+                            view.properties.get("v")
+                db.commit(txn)
+                done += 1
+            except SerializationConflict:
+                db.abort(txn)
+        committed[worker_id] = done
+
+    pool = [threading.Thread(target=worker, args=(i,)) for i in range(threads)]
+    started = time.perf_counter()
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    elapsed = time.perf_counter() - started
+    db.stop_background_gc()
+    return sum(committed) / elapsed
+
+
+def test_fig6b_temporal_overhead(benchmark):
+    throughput: dict[str, dict[int, float]] = {"TGDB": {}, "TGDB-noT": {}}
+
+    def run():
+        for threads in THREADS:
+            # Interleave to cancel thermal/OS drift.
+            a = _run_mix(False, threads)
+            b = _run_mix(True, threads)
+            a2 = _run_mix(False, threads)
+            b2 = _run_mix(True, threads)
+            throughput["TGDB-noT"][threads] = (a + a2) / 2
+            throughput["TGDB"][threads] = (b + b2) / 2
+        return throughput
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Figure 6(b): transaction throughput (txn/s) by thread count"]
+    lines.append(f"{'system':<10}" + "".join(f"{t}thr".rjust(12) for t in THREADS))
+    for system, per_threads in throughput.items():
+        lines.append(
+            f"{system:<10}"
+            + "".join(f"{per_threads[t]:>12,.0f}" for t in THREADS)
+        )
+    overheads = [
+        1.0 - throughput["TGDB"][t] / throughput["TGDB-noT"][t]
+        for t in THREADS
+    ]
+    mean_overhead = sum(overheads) / len(overheads)
+    lines.append(
+        f"mean throughput overhead of temporal support: "
+        f"{mean_overhead * 100:.1f}% (paper: 1.2% on 32 cores; here the "
+        "migration thread shares one GIL)"
+    )
+    print("\n" + write_report("fig6b_throughput", lines))
+
+    # The temporal extension must be lightweight: the commit path adds
+    # no blocking work, so even GIL-sharing migration stays a small
+    # fraction of throughput.
+    assert mean_overhead < 0.20
+    benchmark.extra_info["throughput"] = throughput

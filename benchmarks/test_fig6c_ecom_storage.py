@@ -1,0 +1,61 @@
+"""Figure 6(c) — E-commerce: storage consumption as months accumulate.
+
+The paper loads 1..5 months of the RetailRocket-like event stream and
+shows storage growing with the operation count but *more slowly* than
+the operations themselves ("the storage consumption grows more slowly
+than the size of graph operations ... the storage engine of TGDB is
+scalable").
+"""
+
+from __future__ import annotations
+
+from repro.baselines import AeonGBackend
+from repro.workloads import ecommerce
+from repro.workloads.driver import WorkloadDriver
+from benchmarks.conftest import write_report
+
+MONTHS = (1, 2, 3, 4, 5)
+
+
+def test_fig6c_ecommerce_storage_by_month(benchmark):
+    dataset = ecommerce.generate(
+        users=80, items=60, events_per_month=700, months=5, seed=23
+    )
+    storage: dict[int, int] = {}
+    op_counts: dict[int, int] = {}
+
+    def run():
+        for months in MONTHS:
+            ops = dataset.ops_for_months(months)
+            backend = AeonGBackend(
+                anchor_interval=10, gc_interval_transactions=400
+            )
+            driver = WorkloadDriver(backend, seed=5)
+            driver.apply(ops)
+            driver.finish_load()
+            storage[months] = backend.storage_bytes()
+            op_counts[months] = len(ops)
+        return storage
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Figure 6(c): E-commerce storage by months loaded"]
+    lines.append(f"{'months':>8}{'operations':>12}{'storage bytes':>16}")
+    for months in MONTHS:
+        lines.append(
+            f"{months:>8}{op_counts[months]:>12,}{storage[months]:>16,}"
+        )
+    ops_growth = op_counts[5] / op_counts[1]
+    storage_growth = storage[5] / storage[1]
+    lines.append(
+        f"1->5 months: operations x{ops_growth:.2f}, storage "
+        f"x{storage_growth:.2f} (paper: storage grows more slowly)"
+    )
+    print("\n" + write_report("fig6c_ecom_storage", lines))
+
+    # Monotone growth, but sublinear w.r.t. the op count.
+    for previous, current in zip(MONTHS, MONTHS[1:]):
+        assert storage[current] > storage[previous]
+    assert storage_growth < ops_growth
+    benchmark.extra_info["storage"] = storage
+    benchmark.extra_info["operations"] = op_counts

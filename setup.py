@@ -1,0 +1,6 @@
+"""Legacy-path shim: lets ``pip install -e .`` work without the
+``wheel`` package (metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

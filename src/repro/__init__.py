@@ -1,0 +1,37 @@
+"""AeonG/TGDB reproduction: built-in temporal support in an MVCC graph DB.
+
+Public surface::
+
+    from repro import AeonG, TemporalCondition, GraphModel
+
+    db = AeonG()
+    with db.transaction() as txn:
+        v = db.create_vertex(txn, labels=["Person"], properties={"name": "Jack"})
+    rows = db.execute("MATCH (n:Person) RETURN n.name")
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.core.engine import AeonG
+from repro.core.stats import StorageReport
+from repro.core.temporal import (
+    AllenRelation,
+    GraphModel,
+    Interval,
+    TemporalCondition,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AeonG",
+    "TemporalCondition",
+    "Interval",
+    "AllenRelation",
+    "GraphModel",
+    "StorageReport",
+    "ReproError",
+    "__version__",
+]

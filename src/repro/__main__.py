@@ -1,0 +1,7 @@
+"""``python -m repro`` — the interactive temporal graph shell."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

@@ -1,0 +1,32 @@
+"""Comparison systems of the paper's evaluation (section 7.1).
+
+The paper compares AeonG/TGDB against two state-of-the-art approaches,
+both re-implemented by the authors on the same substrate ("we
+implemented them on Memgraph and RocksDB based on their ideas").  We do
+the same on our substrates:
+
+- :mod:`repro.baselines.tgql` — the model-based approach (T-GQL):
+  history lives as extra Object/Attribute/Value nodes inside one
+  ever-growing current graph, timestamps managed at application level;
+- :mod:`repro.baselines.clockg` — the snapshot-based approach
+  (Clock-G): a time-ordered delta log plus periodic full-graph
+  checkpoints in the key-value store; queries restore the nearest
+  checkpoint and replay.
+
+All three systems implement :class:`repro.baselines.interface.
+TemporalBackend`, so the workload driver and every benchmark treat them
+uniformly.
+"""
+
+from repro.baselines.aeong import AeonGBackend
+from repro.baselines.clockg import ClockGBackend
+from repro.baselines.interface import GraphOp, TemporalBackend
+from repro.baselines.tgql import TGQLBackend
+
+__all__ = [
+    "TemporalBackend",
+    "GraphOp",
+    "AeonGBackend",
+    "TGQLBackend",
+    "ClockGBackend",
+]

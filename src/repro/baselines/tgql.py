@@ -1,0 +1,370 @@
+"""T-GQL, the model-based baseline (Debrouvier et al., VLDB J. 2021).
+
+History is represented *inside one current graph* as extra nodes, at
+the application level:
+
+- every entity is an **Object** node;
+- every property of an entity is an **Attribute** node hung off the
+  object (``HAS_ATTRIBUTE``);
+- every value a property ever took is a **Value** node hung off the
+  attribute (``HAS_VALUE``) carrying its interval as plain properties
+  (``vt_from`` / ``vt_to``);
+- relationships between objects are ordinary edges carrying interval
+  properties; an update closes the current edge and inserts a new one.
+
+Timestamps come from the application (the operation's event time) —
+the paper's critique of model-based systems.  The graph only ever
+grows, which is why T-GQL's query latency rises with the operation
+count (Figure 5(d,e)) while its storage stays linear in changes
+(Figure 5(a)).
+
+The substrate is our Memgraph stand-in with temporal support disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.baselines import interface
+from repro.baselines.interface import GraphOp, NeighborHit
+from repro.common.timeutil import MAX_TIMESTAMP
+from repro.core.engine import AeonG
+from repro.errors import ExecutionError
+
+OBJECT_LABEL = "Object"
+ATTRIBUTE_LABEL = "Attribute"
+VALUE_LABEL = "Value"
+HAS_ATTRIBUTE = "HAS_ATTRIBUTE"
+HAS_VALUE = "HAS_VALUE"
+
+#: Edge types that are part of the temporal model, not the user graph.
+_MODEL_EDGE_TYPES = {HAS_ATTRIBUTE, HAS_VALUE}
+
+
+class TGQLBackend(interface.TemporalBackend):
+    """The model-based comparison system."""
+
+    name = "tgql"
+
+    def __init__(self, gc_interval_transactions: int = 512) -> None:
+        # Vanilla substrate: history is discarded by GC; everything
+        # temporal lives in the model nodes below.
+        self.engine = AeonG(
+            temporal=False,
+            gc_interval_transactions=gc_interval_transactions,
+        )
+        self._objects: dict[str, int] = {}  # ext id -> Object gid
+        self._attributes: dict[tuple[int, str], int] = {}
+        self._open_value: dict[int, int] = {}  # attribute gid -> Value gid
+        self._edges: dict[str, int] = {}  # edge ext id -> current edge gid
+        self._indexed = False
+
+    # -- writes ----------------------------------------------------------------
+
+    def apply(self, op: GraphOp) -> None:
+        with self.engine.transaction() as txn:
+            if op.kind == interface.ADD_VERTEX:
+                self._add_vertex(txn, op)
+            elif op.kind == interface.UPDATE_VERTEX:
+                self._update_vertex(txn, op)
+            elif op.kind == interface.DELETE_VERTEX:
+                self._delete_vertex(txn, op)
+            elif op.kind == interface.ADD_EDGE:
+                self._add_edge(txn, op)
+            elif op.kind == interface.UPDATE_EDGE:
+                self._update_edge(txn, op)
+            elif op.kind == interface.DELETE_EDGE:
+                self._delete_edge(txn, op)
+            else:  # pragma: no cover - GraphOp validates kinds
+                raise ExecutionError(f"unknown op {op.kind}")
+
+    def _add_vertex(self, txn, op: GraphOp) -> None:
+        gid = self.engine.create_vertex(
+            txn,
+            [op.label, OBJECT_LABEL],
+            {
+                "ext_id": op.ext_id,
+                "created": op.ts,
+                "deleted": MAX_TIMESTAMP,
+            },
+        )
+        self._objects[op.ext_id] = gid
+        for name, value in (op.properties or {}).items():
+            self._append_value(txn, gid, name, value, op.ts)
+
+    def _update_vertex(self, txn, op: GraphOp) -> None:
+        gid = self._object_gid(op.ext_id)
+        self._close_value(txn, gid, op.prop, op.ts)
+        if op.value is not None:
+            self._append_value(txn, gid, op.prop, op.value, op.ts)
+
+    def _delete_vertex(self, txn, op: GraphOp) -> None:
+        gid = self._object_gid(op.ext_id)
+        self.engine.set_vertex_property(txn, gid, "deleted", op.ts)
+        view = self.engine.get_vertex(txn, gid)
+        # Close every open value and every open relationship.
+        for ref in view.out_edges:
+            if ref.edge_type == HAS_ATTRIBUTE:
+                attribute_gid = ref.other_gid
+                attr_view = self.engine.get_vertex(txn, attribute_gid)
+                name = attr_view.properties.get("name", "")
+                self._close_value(txn, gid, name, op.ts)
+        for ref in list(view.out_edges) + list(view.in_edges):
+            if ref.edge_type in _MODEL_EDGE_TYPES:
+                continue
+            edge = self.engine.get_edge(txn, ref.edge_gid)
+            if edge is not None and edge.properties.get("e_to") == MAX_TIMESTAMP:
+                self.engine.set_edge_property(txn, ref.edge_gid, "e_to", op.ts)
+        del self._objects[op.ext_id]
+
+    def _add_edge(self, txn, op: GraphOp) -> None:
+        properties = dict(op.properties or {})
+        properties.update(
+            {"ext_id": op.ext_id, "e_from": op.ts, "e_to": MAX_TIMESTAMP}
+        )
+        gid = self.engine.create_edge(
+            txn,
+            self._object_gid(op.src),
+            self._object_gid(op.dst),
+            op.label,
+            properties,
+        )
+        self._edges[op.ext_id] = gid
+
+    def _update_edge(self, txn, op: GraphOp) -> None:
+        # Relationship versioning: close the current edge, insert a new
+        # one with the updated attributes and a fresh interval.
+        old_gid = self._edge_gid(op.ext_id)
+        edge = self.engine.get_edge(txn, old_gid)
+        if edge is None:
+            raise ExecutionError(f"edge {op.ext_id!r} not visible")
+        self.engine.set_edge_property(txn, old_gid, "e_to", op.ts)
+        properties = dict(edge.properties)
+        properties[op.prop] = op.value
+        properties["e_from"] = op.ts
+        properties["e_to"] = MAX_TIMESTAMP
+        gid = self.engine.create_edge(
+            txn, edge.from_gid, edge.to_gid, edge.edge_type, properties
+        )
+        self._edges[op.ext_id] = gid
+
+    def _delete_edge(self, txn, op: GraphOp) -> None:
+        gid = self._edge_gid(op.ext_id)
+        self.engine.set_edge_property(txn, gid, "e_to", op.ts)
+        del self._edges[op.ext_id]
+
+    # -- model helpers ----------------------------------------------------------
+
+    def _object_gid(self, ext_id: str) -> int:
+        gid = self._objects.get(ext_id)
+        if gid is None:
+            raise ExecutionError(f"unknown object {ext_id!r}")
+        return gid
+
+    def _edge_gid(self, ext_id: str) -> int:
+        gid = self._edges.get(ext_id)
+        if gid is None:
+            raise ExecutionError(f"unknown edge {ext_id!r}")
+        return gid
+
+    def _attribute_gid(self, txn, object_gid: int, name: str) -> int:
+        key = (object_gid, name)
+        gid = self._attributes.get(key)
+        if gid is None:
+            gid = self.engine.create_vertex(
+                txn, [ATTRIBUTE_LABEL], {"name": name}
+            )
+            self.engine.create_edge(txn, object_gid, gid, HAS_ATTRIBUTE)
+            self._attributes[key] = gid
+        return gid
+
+    def _append_value(self, txn, object_gid: int, name: str, value, ts: int) -> None:
+        attribute_gid = self._attribute_gid(txn, object_gid, name)
+        value_gid = self.engine.create_vertex(
+            txn,
+            [VALUE_LABEL],
+            {"value": value, "vt_from": ts, "vt_to": MAX_TIMESTAMP},
+        )
+        self.engine.create_edge(txn, attribute_gid, value_gid, HAS_VALUE)
+        self._open_value[attribute_gid] = value_gid
+
+    def _close_value(self, txn, object_gid: int, name: str, ts: int) -> None:
+        attribute_gid = self._attributes.get((object_gid, name))
+        if attribute_gid is None:
+            return
+        value_gid = self._open_value.pop(attribute_gid, None)
+        if value_gid is not None:
+            self.engine.set_vertex_property(txn, value_gid, "vt_to", ts)
+
+    # -- time ----------------------------------------------------------------------
+
+    def to_query_time(self, event_ts: int) -> int:
+        return event_ts  # application-level timestamps
+
+    # -- reads -----------------------------------------------------------------------
+
+    def _find_object(self, txn, ext_id: str):
+        """Locate an Object node: indexed lookup or full graph scan —
+        the scan over the *whole* (model-inflated) graph is where
+        T-GQL's latency goes."""
+        indexes = self.engine.storage.indexes
+        if self._indexed:
+            candidates = indexes.candidates_by_value(
+                OBJECT_LABEL, "ext_id", ext_id
+            )
+            if candidates is not None:
+                for gid in candidates:
+                    view = self.engine.get_vertex(txn, gid)
+                    if view is not None and view.properties.get("ext_id") == ext_id:
+                        return view
+                return None
+        for view in self.engine.iter_vertices(txn):
+            if (
+                OBJECT_LABEL in view.labels
+                and view.properties.get("ext_id") == ext_id
+            ):
+                return view
+        return None
+
+    def vertex_at(self, ext_id: str, t: int) -> Optional[dict[str, Any]]:
+        with self.engine.transaction() as txn:
+            view = self._find_object(txn, ext_id)
+            if view is None:
+                return None
+            if not (view.properties.get("created", 0) <= t < view.properties.get("deleted", MAX_TIMESTAMP)):
+                return None
+            return self._properties_at(txn, view, t)
+
+    def _properties_at(self, txn, object_view, t: int) -> dict[str, Any]:
+        properties: dict[str, Any] = {}
+        for ref in object_view.out_edges:
+            if ref.edge_type != HAS_ATTRIBUTE:
+                continue
+            attribute = self.engine.get_vertex(txn, ref.other_gid)
+            if attribute is None:
+                continue
+            name = attribute.properties.get("name", "")
+            for value_ref in attribute.out_edges:
+                if value_ref.edge_type != HAS_VALUE:
+                    continue
+                value_node = self.engine.get_vertex(txn, value_ref.other_gid)
+                if value_node is None:
+                    continue
+                if (
+                    value_node.properties.get("vt_from", 0)
+                    <= t
+                    < value_node.properties.get("vt_to", MAX_TIMESTAMP)
+                ):
+                    properties[name] = value_node.properties.get("value")
+                    break
+        return properties
+
+    def vertex_between(self, ext_id: str, t1: int, t2: int) -> list[dict[str, Any]]:
+        with self.engine.transaction() as txn:
+            view = self._find_object(txn, ext_id)
+            if view is None:
+                return []
+            boundaries = {t1}
+            for ref in view.out_edges:
+                if ref.edge_type != HAS_ATTRIBUTE:
+                    continue
+                attribute = self.engine.get_vertex(txn, ref.other_gid)
+                if attribute is None:
+                    continue
+                for value_ref in attribute.out_edges:
+                    if value_ref.edge_type != HAS_VALUE:
+                        continue
+                    value_node = self.engine.get_vertex(txn, value_ref.other_gid)
+                    if value_node is None:
+                        continue
+                    start = value_node.properties.get("vt_from", 0)
+                    if t1 <= start <= t2:
+                        boundaries.add(start)
+            created = view.properties.get("created", 0)
+            deleted = view.properties.get("deleted", MAX_TIMESTAMP)
+            states = []
+            for boundary in sorted(boundaries, reverse=True):
+                if created <= boundary < deleted:
+                    states.append(self._properties_at(txn, view, boundary))
+            return states
+
+    def neighbors_at(
+        self,
+        ext_id: str,
+        t: int,
+        direction: str = "out",
+        edge_type: Optional[str] = None,
+    ) -> list[NeighborHit]:
+        return self._neighbors(ext_id, t, t, direction, edge_type, point=True)
+
+    def neighbors_between(
+        self,
+        ext_id: str,
+        t1: int,
+        t2: int,
+        direction: str = "out",
+        edge_type: Optional[str] = None,
+    ) -> list[NeighborHit]:
+        return self._neighbors(ext_id, t1, t2, direction, edge_type, point=False)
+
+    def _neighbors(
+        self, ext_id, t1, t2, direction, edge_type, point
+    ) -> list[NeighborHit]:
+        with self.engine.transaction() as txn:
+            view = self._find_object(txn, ext_id)
+            if view is None:
+                return []
+            refs = []
+            if direction in ("out", "both"):
+                refs.extend(view.out_edges)
+            if direction in ("in", "both"):
+                refs.extend(view.in_edges)
+            hits: list[NeighborHit] = []
+            for ref in refs:
+                if ref.edge_type in _MODEL_EDGE_TYPES:
+                    continue
+                if edge_type is not None and ref.edge_type != edge_type:
+                    continue
+                edge = self.engine.get_edge(txn, ref.edge_gid)
+                if edge is None:
+                    continue
+                e_from = edge.properties.get("e_from", 0)
+                e_to = edge.properties.get("e_to", MAX_TIMESTAMP)
+                if point:
+                    if not e_from <= t1 < e_to:
+                        continue
+                elif not (e_from <= t2 and e_to > t1):
+                    continue
+                neighbour = self.engine.get_vertex(txn, ref.other_gid)
+                if neighbour is None or neighbour.properties.get("ext_id") is None:
+                    continue
+                sample_t = t1 if point else min(t2, max(t1, e_from))
+                hits.append(
+                    NeighborHit(
+                        edge_type=edge.edge_type,
+                        edge_properties={
+                            k: v
+                            for k, v in edge.properties.items()
+                            if k not in ("ext_id", "e_from", "e_to")
+                        },
+                        neighbor_ext_id=neighbour.properties.get("ext_id", ""),
+                        neighbor_properties=self._properties_at(
+                            txn, neighbour, sample_t
+                        ),
+                    )
+                )
+            return hits
+
+    # -- maintenance ------------------------------------------------------------------
+
+    def create_index(self) -> None:
+        indexes = self.engine.storage.indexes
+        if not indexes.has_label_property_index(OBJECT_LABEL, "ext_id"):
+            self.engine.create_label_property_index(OBJECT_LABEL, "ext_id")
+        self._indexed = True
+
+    def flush(self) -> None:
+        self.engine.collect_garbage()
+
+    def storage_bytes(self) -> int:
+        return self.engine.storage_report().total_bytes

@@ -1,0 +1,199 @@
+"""An interactive shell for the temporal query language.
+
+Run as ``python -m repro`` (optionally with ``--data DIR`` to open a
+saved snapshot).  Queries execute against an embedded engine; results
+print as aligned tables.  Dot-commands drive the engine itself:
+
+========  =====================================================
+command   effect
+========  =====================================================
+``.help``     list commands
+``.now``      print the engine's next commit timestamp
+``.gc``       run one garbage-collection (migration) epoch
+``.storage``  print the storage report
+``.index L P``  create a label(+property) index
+``.save DIR``   snapshot the engine to a directory
+``.quit``     exit
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Iterable, Optional, TextIO
+
+from repro.core.engine import AeonG
+from repro.errors import ReproError
+
+PROMPT = "aeong> "
+
+
+def format_table(rows: list[dict[str, Any]]) -> str:
+    """Render result rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    rendered = [
+        {column: _render_cell(row.get(column)) for column in columns}
+        for row in rows
+    ]
+    widths = {
+        column: max(len(column), *(len(row[column]) for row in rendered))
+        for column in columns
+    }
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    separator = "-+-".join("-" * widths[column] for column in columns)
+    body = [
+        " | ".join(row[column].ljust(widths[column]) for column in columns)
+        for row in rendered
+    ]
+    footer = f"({len(rows)} row{'s' if len(rows) != 1 else ''})"
+    return "\n".join([header, separator, *body, footer])
+
+
+def _render_cell(value: Any) -> str:
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, str):
+        return value
+    return repr(value)
+
+
+class Shell:
+    """One interactive session over an engine."""
+
+    def __init__(self, engine: AeonG, out: TextIO) -> None:
+        self.engine = engine
+        self.out = out
+        self.running = True
+
+    def handle(self, line: str) -> None:
+        """Process one input line (query or dot-command)."""
+        line = line.strip()
+        if not line:
+            return
+        if line.startswith("."):
+            self._dot_command(line)
+            return
+        try:
+            rows = self.engine.execute(line)
+        except ReproError as exc:
+            print(f"error: {exc}", file=self.out)
+            return
+        print(format_table(rows), file=self.out)
+
+    def _dot_command(self, line: str) -> None:
+        parts = line.split()
+        command, args = parts[0], parts[1:]
+        if command == ".help":
+            print(_help_text(), file=self.out)
+        elif command == ".now":
+            print(self.engine.now(), file=self.out)
+        elif command == ".gc":
+            reclaimed = self.engine.collect_garbage()
+            print(f"reclaimed {reclaimed} undo deltas", file=self.out)
+        elif command == ".storage":
+            print(self.engine.storage_report(), file=self.out)
+        elif command == ".index":
+            if not args:
+                print("usage: .index LABEL [PROPERTY]", file=self.out)
+                return
+            try:
+                if len(args) == 1:
+                    self.engine.create_label_index(args[0])
+                else:
+                    self.engine.create_label_property_index(args[0], args[1])
+                print("index created", file=self.out)
+            except ReproError as exc:
+                print(f"error: {exc}", file=self.out)
+        elif command == ".save":
+            if not args:
+                print("usage: .save DIRECTORY", file=self.out)
+                return
+            try:
+                self.engine.save(args[0])
+                print(f"saved to {args[0]}", file=self.out)
+            except ReproError as exc:
+                print(f"error: {exc}", file=self.out)
+        elif command in (".quit", ".exit"):
+            self.running = False
+        else:
+            print(f"unknown command {command}; try .help", file=self.out)
+
+
+def _help_text() -> str:
+    return (
+        "queries: any statement of the temporal query language, e.g.\n"
+        "  CREATE (n:Person {name: 'Jack'})\n"
+        "  MATCH (n:Person) RETURN n.name\n"
+        "  MATCH (n:Person) TT SNAPSHOT 5 RETURN n\n"
+        "commands: .help .now .gc .storage .index L [P] .save DIR .quit"
+    )
+
+
+def run(
+    lines: Iterable[str],
+    engine: Optional[AeonG] = None,
+    out: TextIO = sys.stdout,
+    interactive: bool = False,
+) -> AeonG:
+    """Feed ``lines`` to a shell; returns the engine (for tests)."""
+    shell = Shell(engine if engine is not None else AeonG(), out)
+    for line in lines:
+        if interactive:
+            print(f"{PROMPT}{line.rstrip()}", file=out)
+        shell.handle(line)
+        if not shell.running:
+            break
+    return shell.engine
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Interactive shell for the AeonG temporal graph database",
+    )
+    parser.add_argument(
+        "--data", metavar="DIR", help="open an engine snapshot directory"
+    )
+    parser.add_argument(
+        "--query", "-q", action="append", default=[],
+        help="execute one statement and exit (repeatable)",
+    )
+    parser.add_argument(
+        "--no-temporal", action="store_true",
+        help="run the vanilla (TGDB-noT) configuration",
+    )
+    options = parser.parse_args(argv)
+    try:
+        if options.data:
+            engine = AeonG.load(options.data)
+        else:
+            engine = AeonG(temporal=not options.no_temporal)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if options.query:
+        run(options.query, engine)
+        return 0
+    print("AeonG temporal graph shell — .help for help, .quit to exit")
+    shell = Shell(engine, sys.stdout)
+    try:
+        while shell.running:
+            try:
+                line = input(PROMPT)
+            except EOFError:
+                break
+            shell.handle(line)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

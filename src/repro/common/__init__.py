@@ -1,0 +1,31 @@
+"""Shared low-level utilities: id allocation, serialization, time helpers."""
+
+from repro.common.ids import GidAllocator, VERTEX_NAMESPACE, EDGE_NAMESPACE
+from repro.common.serde import (
+    encode_value,
+    decode_value,
+    encode_mapping,
+    decode_mapping,
+    encoded_size,
+)
+from repro.common.timeutil import (
+    MIN_TIMESTAMP,
+    MAX_TIMESTAMP,
+    datetime_to_ts,
+    ts_to_datetime,
+)
+
+__all__ = [
+    "GidAllocator",
+    "VERTEX_NAMESPACE",
+    "EDGE_NAMESPACE",
+    "encode_value",
+    "decode_value",
+    "encode_mapping",
+    "decode_mapping",
+    "encoded_size",
+    "MIN_TIMESTAMP",
+    "MAX_TIMESTAMP",
+    "datetime_to_ts",
+    "ts_to_datetime",
+]

@@ -1,0 +1,207 @@
+"""Compact binary serialization for property values and diffs.
+
+The history store (the RocksDB stand-in) stores *bytes*; the paper's
+storage-overhead experiments (Figures 5a, 6a, 6c) compare systems by the
+size of what they persist.  To keep that comparison honest we encode
+every value with the same compact, self-describing binary format instead
+of, say, ``repr`` or ``pickle`` whose sizes would be arbitrary.
+
+Wire format: one type tag byte followed by a payload.
+
+=========  ==========================================================
+tag        payload
+=========  ==========================================================
+``N``      none (empty payload)
+``T``      true (empty payload)
+``F``      false (empty payload)
+``i``      varint-encoded zig-zag integer
+``d``      8-byte IEEE-754 double, big-endian
+``s``      varint length + UTF-8 bytes
+``b``      varint length + raw bytes
+``l``      varint count + encoded elements
+``m``      varint count + alternating encoded keys and values
+=========  ==========================================================
+
+Varints use the LEB128 scheme (7 data bits per byte, high bit =
+continuation); integers are zig-zag mapped so small negative numbers
+stay small on the wire.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.errors import CorruptionError
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"i"
+_TAG_FLOAT = b"d"
+_TAG_STR = b"s"
+_TAG_BYTES = b"b"
+_TAG_LIST = b"l"
+_TAG_MAP = b"m"
+
+_DOUBLE = struct.Struct(">d")
+
+
+def _encode_varint(value: int, out: bytearray) -> None:
+    if value < 0:
+        raise ValueError("varint must be non-negative")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _decode_varint(data: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise CorruptionError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _wide_zigzag(value: int) -> int:
+    # Python ints are unbounded; generalize zig-zag without a fixed width.
+    return value << 1 if value >= 0 else ((-value) << 1) - 1
+
+
+def _unzigzag(value: int) -> int:
+    return value >> 1 if not value & 1 else -((value + 1) >> 1)
+
+
+def _encode_into(value: Any, out: bytearray) -> None:
+    if value is None:
+        out += _TAG_NONE
+    elif value is True:
+        out += _TAG_TRUE
+    elif value is False:
+        out += _TAG_FALSE
+    elif isinstance(value, int):
+        out += _TAG_INT
+        _encode_varint(_wide_zigzag(value), out)
+    elif isinstance(value, float):
+        out += _TAG_FLOAT
+        out += _DOUBLE.pack(value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += _TAG_STR
+        _encode_varint(len(raw), out)
+        out += raw
+    elif isinstance(value, (bytes, bytearray)):
+        out += _TAG_BYTES
+        _encode_varint(len(value), out)
+        out += bytes(value)
+    elif isinstance(value, (list, tuple)):
+        out += _TAG_LIST
+        _encode_varint(len(value), out)
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, dict):
+        out += _TAG_MAP
+        _encode_varint(len(value), out)
+        for key, item in value.items():
+            _encode_into(key, out)
+            _encode_into(item, out)
+    else:
+        raise TypeError(f"unsupported property value type: {type(value)!r}")
+
+
+def _decode_from(data: bytes, pos: int) -> tuple[Any, int]:
+    if pos >= len(data):
+        raise CorruptionError("truncated value")
+    tag = data[pos:pos + 1]
+    pos += 1
+    if tag == _TAG_NONE:
+        return None, pos
+    if tag == _TAG_TRUE:
+        return True, pos
+    if tag == _TAG_FALSE:
+        return False, pos
+    if tag == _TAG_INT:
+        raw, pos = _decode_varint(data, pos)
+        return _unzigzag(raw), pos
+    if tag == _TAG_FLOAT:
+        if pos + 8 > len(data):
+            raise CorruptionError("truncated double")
+        return _DOUBLE.unpack_from(data, pos)[0], pos + 8
+    if tag == _TAG_STR:
+        length, pos = _decode_varint(data, pos)
+        if pos + length > len(data):
+            raise CorruptionError("truncated string")
+        return data[pos:pos + length].decode("utf-8"), pos + length
+    if tag == _TAG_BYTES:
+        length, pos = _decode_varint(data, pos)
+        if pos + length > len(data):
+            raise CorruptionError("truncated bytes")
+        return bytes(data[pos:pos + length]), pos + length
+    if tag == _TAG_LIST:
+        count, pos = _decode_varint(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _decode_from(data, pos)
+            items.append(item)
+        return items, pos
+    if tag == _TAG_MAP:
+        count, pos = _decode_varint(data, pos)
+        mapping = {}
+        for _ in range(count):
+            key, pos = _decode_from(data, pos)
+            item, pos = _decode_from(data, pos)
+            mapping[key] = item
+        return mapping, pos
+    raise CorruptionError(f"unknown type tag {tag!r}")
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode a single property value to its wire representation."""
+    out = bytearray()
+    _encode_into(value, out)
+    return bytes(out)
+
+
+def decode_value(data: bytes) -> Any:
+    """Decode a value produced by :func:`encode_value`.
+
+    Raises :class:`~repro.errors.CorruptionError` on malformed input or
+    trailing garbage.
+    """
+    value, pos = _decode_from(data, 0)
+    if pos != len(data):
+        raise CorruptionError(f"{len(data) - pos} trailing bytes after value")
+    return value
+
+
+def encode_mapping(mapping: dict[str, Any]) -> bytes:
+    """Encode a property map; identical to ``encode_value(dict)``."""
+    return encode_value(mapping)
+
+
+def decode_mapping(data: bytes) -> dict[str, Any]:
+    """Decode a property map and verify it actually is a mapping."""
+    value = decode_value(data)
+    if not isinstance(value, dict):
+        raise CorruptionError("expected a mapping")
+    return value
+
+
+def encoded_size(value: Any) -> int:
+    """Size in bytes that ``value`` occupies on the wire.
+
+    Used by the storage-accounting layer to model in-memory graph
+    objects with the same metric as persisted KV records.
+    """
+    return len(encode_value(value))

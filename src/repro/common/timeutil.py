@@ -1,0 +1,43 @@
+"""Logical-timestamp helpers.
+
+AeonG's transaction time is the engine-assigned commit timestamp, a
+monotone logical integer.  Workloads carry wall-clock event times, so we
+provide a fixed, lossless mapping between :class:`datetime.datetime`
+and logical microsecond counts.  All engine-internal comparisons happen
+on the integer form.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+#: Smallest usable timestamp (the beginning of history).
+MIN_TIMESTAMP = 0
+
+#: Sentinel for "still current": an interval end of ``MAX_TIMESTAMP``
+#: means the version has not been superseded (the paper writes TT.ed=∞).
+MAX_TIMESTAMP = 2**63 - 1
+
+_EPOCH = datetime(1970, 1, 1, tzinfo=timezone.utc)
+
+
+def datetime_to_ts(moment: datetime) -> int:
+    """Map a datetime to a logical timestamp (microseconds since epoch).
+
+    Naive datetimes are interpreted as UTC, which keeps workload
+    generators deterministic regardless of host timezone.
+    """
+    if moment.tzinfo is None:
+        moment = moment.replace(tzinfo=timezone.utc)
+    delta = moment - _EPOCH
+    return int(delta.total_seconds()) * 1_000_000 + delta.microseconds
+
+
+def ts_to_datetime(ts: int) -> datetime:
+    """Inverse of :func:`datetime_to_ts` (always returns UTC)."""
+    if ts == MAX_TIMESTAMP:
+        raise ValueError("MAX_TIMESTAMP is a sentinel, not a real instant")
+    seconds, micros = divmod(ts, 1_000_000)
+    return datetime.fromtimestamp(seconds, tz=timezone.utc).replace(
+        microsecond=micros
+    )

@@ -1,0 +1,24 @@
+"""The paper's contribution: hybrid temporal storage + temporal operators.
+
+``repro.core`` wires the MVCC current store (:mod:`repro.graph`) to a
+key-value historical store (:mod:`repro.kvstore`) through the
+garbage-collection migration hook, and implements the temporal Scan and
+Expand operators on top.  The public entry point is
+:class:`repro.core.engine.AeonG`.
+"""
+
+from repro.core.engine import AeonG
+from repro.core.temporal import (
+    AllenRelation,
+    Interval,
+    TemporalCondition,
+    GraphModel,
+)
+
+__all__ = [
+    "AeonG",
+    "Interval",
+    "TemporalCondition",
+    "AllenRelation",
+    "GraphModel",
+]

@@ -1,0 +1,143 @@
+"""Engine-level durability: a logical write-ahead log + checkpoints.
+
+Memgraph persists with periodic snapshots plus a WAL of logical
+operations; this module is the equivalent for the embedded engine.
+When an :class:`~repro.core.engine.AeonG` is constructed with
+``durability_dir``, every committed transaction appends one WAL record
+containing its commit timestamp and its logical operations.  Recovery
+(:meth:`AeonG.open`) loads the newest checkpoint (if any) and replays
+the WAL — *forcing the original commit timestamps and gids*, so the
+recovered engine's transaction-time history is bit-for-bit the
+original, including versions that were migrated to the history store.
+
+``checkpoint()`` snapshots the engine (see
+:mod:`repro.core.persistence`) and truncates the WAL, bounding
+recovery time.
+
+WAL record payload (framed/checksummed by the kvstore WAL machinery)::
+
+    {"ts": commit_ts, "ops": [[opcode, ...args], ...]}
+
+opcodes: ``cv`` create vertex, ``ce`` create edge, ``svp``/``sep`` set
+vertex/edge property, ``al``/``rl`` add/remove label, ``dv``/``de``
+delete vertex/edge, ``vt`` set valid time.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.common.serde import decode_value, encode_value
+from repro.errors import StorageError
+from repro.kvstore.wal import WriteAheadLog
+
+WAL_FILENAME = "engine.wal"
+CHECKPOINT_DIRNAME = "checkpoint"
+
+
+class EngineWal:
+    """Append-only log of committed transactions."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._wal = WriteAheadLog(self.directory / WAL_FILENAME)
+        self.records_appended = 0
+
+    def append(self, commit_ts: int, journal: list[tuple]) -> None:
+        """Durably record one committed transaction."""
+        payload = encode_value(
+            {"ts": commit_ts, "ops": [list(op) for op in journal]}
+        )
+        self._wal.append([(b"txn", payload)])
+        self.records_appended += 1
+
+    def replay(self):
+        """Yield ``(commit_ts, ops)`` in commit order; stops at a torn
+        or corrupted tail (crash semantics)."""
+        for batch in self._wal.replay():
+            for _key, payload in batch:
+                if payload is None:
+                    continue
+                record = decode_value(payload)
+                yield record["ts"], [tuple(op) for op in record["ops"]]
+
+    def truncate(self) -> None:
+        self._wal.truncate()
+
+    def close(self) -> None:
+        self._wal.close()
+
+
+def replay_into(engine, wal: EngineWal) -> int:
+    """Re-execute every WAL transaction against ``engine``.
+
+    Returns the number of transactions replayed.  The engine must not
+    journal during replay (the caller suspends logging), and replay
+    forces the recorded gids and commit timestamps.
+    """
+    replayed = 0
+    for commit_ts, ops in wal.replay():
+        txn = engine.begin()
+        try:
+            for op in ops:
+                _apply_op(engine, txn, op)
+        except BaseException:
+            if txn.is_active:
+                engine.abort(txn)
+            raise
+        engine.manager.commit(txn, commit_ts=commit_ts)
+        replayed += 1
+    return replayed
+
+
+def _apply_op(engine, txn, op: tuple) -> None:
+    code = op[0]
+    if code == "cv":
+        _code, gid, labels, properties = op
+        engine.storage.create_vertex(txn, labels, properties, gid=gid)
+    elif code == "ce":
+        _code, gid, src, dst, edge_type, properties = op
+        engine.storage.create_edge(
+            txn, src, dst, edge_type, properties, gid=gid
+        )
+    elif code == "svp":
+        _code, gid, name, value = op
+        engine.storage.set_vertex_property(txn, gid, name, value)
+    elif code == "sep":
+        _code, gid, name, value = op
+        engine.storage.set_edge_property(txn, gid, name, value)
+    elif code == "al":
+        engine.storage.add_label(txn, op[1], op[2])
+    elif code == "rl":
+        engine.storage.remove_label(txn, op[1], op[2])
+    elif code == "dv":
+        engine.storage.delete_vertex(txn, op[1], detach=op[2])
+    elif code == "de":
+        engine.storage.delete_edge(txn, op[1])
+    else:
+        raise StorageError(f"unknown WAL opcode {code!r}")
+
+
+def open_engine(directory, **engine_kwargs):
+    """Open (or create) a durable engine rooted at ``directory``.
+
+    Loads the newest checkpoint when one exists, replays the WAL on
+    top, and returns an engine that continues journaling to the same
+    log.
+    """
+    from repro.core.engine import AeonG
+    from repro.core.persistence import load_engine
+
+    directory = Path(directory)
+    engine_kwargs.pop("durability_dir", None)  # attached below, post-replay
+    checkpoint = directory / CHECKPOINT_DIRNAME
+    if (checkpoint / "meta.bin").exists():
+        engine = load_engine(checkpoint, **engine_kwargs)
+    else:
+        engine = AeonG(**engine_kwargs)
+    wal = EngineWal(directory)
+    replay_into(engine, wal)
+    engine.attach_wal(directory, wal)
+    return engine

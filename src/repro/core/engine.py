@@ -1,0 +1,679 @@
+"""The AeonG engine facade: hybrid storage + temporal query surface.
+
+``AeonG`` assembles the pieces exactly as Figure 2 of the paper draws
+them: the MVCC property-graph store is the *current data storage
+engine*, a key-value store is the *historical data storage engine*, and
+the two are connected only through the garbage collector's migration
+hook.  Constructing with ``temporal=False`` yields the vanilla system
+(TGDB-noT in the paper's Figure 6(b) experiment): garbage collection
+simply discards expired versions and temporal queries are rejected.
+
+Typical use::
+
+    db = AeonG()
+    with db.transaction() as txn:
+        jack = db.create_vertex(txn, labels=["Person"], properties={"name": "Jack"})
+        card = db.create_vertex(txn, labels=["CreditCard"], properties={"balance": 270})
+        db.create_edge(txn, jack, card, "OWNS")
+    t_before = db.now()
+    with db.transaction() as txn:
+        db.set_vertex_property(txn, card, "balance", 200)
+    with db.transaction() as txn:
+        old = next(db.vertices_as_of(txn, t_before, label="CreditCard"))
+        assert old.properties["balance"] == 270
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from repro.core.anchors import AnchorPolicy
+from repro.core.history_store import HistoricalStore
+from repro.core.migration import Migrator
+from repro.core.operators import TemporalOperators
+from repro.core.stats import StorageReport
+from repro.core.temporal import (
+    GraphModel,
+    Interval,
+    TemporalCondition,
+    VT_END_PROPERTY,
+    VT_START_PROPERTY,
+    check_property_writable,
+    check_valid_time_value,
+    valid_time_of,
+)
+from repro.errors import (
+    ConstraintViolation,
+    QueryError,
+    StorageError,
+    TemporalError,
+)
+from repro.graph.storage import GraphStorage
+from repro.graph.views import EdgeView, VertexView
+from repro.kvstore import KVStore
+from repro.mvcc.gc import GarbageCollector
+from repro.mvcc.transaction import Transaction
+
+
+class AeonG:
+    """An embedded temporal graph database.
+
+    Parameters
+    ----------
+    temporal:
+        When False, historical versions are discarded at garbage
+        collection (the vanilla / TGDB-noT configuration).
+    anchor_interval:
+        The paper's ``u``: number of migrated delta records between two
+        anchors of one object (0 disables anchors; default 10, the
+        value the paper recommends for TPC-DS).
+    gc_interval_transactions:
+        Run one garbage-collection epoch automatically after this many
+        commits ("the migration is invoked periodically"); 0 disables
+        automatic collection — call :meth:`collect_garbage` manually.
+    model:
+        Which temporal dimensions the graph carries (section 2.1).
+    enforce_vt_constraints:
+        Check section 2.3's valid-time constraint — an edge's valid
+        time must lie within both endpoints' — on edge creation and
+        valid-time updates.
+    kv:
+        Inject a pre-configured key-value store (e.g. with a WAL).
+    durability_dir:
+        Enable the logical write-ahead log under this directory: every
+        committed transaction is durably journaled, :meth:`checkpoint`
+        snapshots + truncates, and :meth:`AeonG.open` recovers.  Only
+        pass this for a *fresh* directory — use :meth:`open` for an
+        existing one (it replays the log first).
+    """
+
+    def __init__(
+        self,
+        temporal: bool = True,
+        anchor_interval: int = 10,
+        gc_interval_transactions: int = 512,
+        model: GraphModel = GraphModel.BITEMPORAL,
+        enforce_vt_constraints: bool = False,
+        kv: Optional[KVStore] = None,
+        durability_dir=None,
+    ) -> None:
+        self.temporal = temporal
+        self.model = model
+        self.enforce_vt_constraints = enforce_vt_constraints
+        self.storage = GraphStorage()
+        self.manager = self.storage.manager
+        self.history = HistoricalStore(kv)
+        self.anchor_policy = AnchorPolicy(anchor_interval)
+        self.migrator = Migrator(self.storage, self.history, self.anchor_policy)
+        self.gc = GarbageCollector(
+            self.manager,
+            migrate_hook=self.migrator.migrate if temporal else None,
+            reclaim_object_hook=self._reclaim_record,
+        )
+        self.operators = TemporalOperators(self.storage, self.history)
+        self._gc_interval = gc_interval_transactions
+        self._commits_since_gc = 0
+        self._gc_lock = threading.Lock()
+        self._gc_thread: Optional[threading.Thread] = None
+        self._gc_stop: Optional[threading.Event] = None
+        self._wal = None
+        self._durability_dir = None
+        if durability_dir is not None:
+            from repro.core.durability import EngineWal
+
+            self.attach_wal(durability_dir, EngineWal(durability_dir))
+
+    # -- transactions -------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start a snapshot-isolation transaction."""
+        return self.manager.begin()
+
+    def commit(self, txn: Transaction) -> int:
+        """Commit; returns the commit timestamp (= the new TT.st)."""
+        commit_ts = self.manager.commit(txn)
+        if self._wal is not None and txn.journal:
+            self._wal.append(commit_ts, txn.journal)
+        with self._gc_lock:
+            self._commits_since_gc += 1
+            due = (
+                self._gc_interval > 0
+                and self._commits_since_gc >= self._gc_interval
+            )
+            if due:
+                self._commits_since_gc = 0
+        if due:
+            self.collect_garbage()
+        return commit_ts
+
+    def abort(self, txn: Transaction) -> None:
+        """Roll back all of the transaction's changes."""
+        self.manager.abort(txn)
+
+    @contextmanager
+    def transaction(self):
+        """``with db.transaction() as txn`` — commit on success,
+        roll back on exception."""
+        txn = self.begin()
+        try:
+            yield txn
+        except BaseException:
+            if txn.is_active:
+                self.abort(txn)
+            raise
+        else:
+            if txn.is_active:
+                self.commit(txn)
+
+    def now(self) -> int:
+        """The next commit timestamp the engine would assign; queries
+        `as of now()` see everything committed so far."""
+        return self.manager.oracle.peek()
+
+    # -- garbage collection / migration -----------------------------------------
+
+    def collect_garbage(self) -> int:
+        """Run one GC epoch (with migration when temporal support is
+        on); returns the number of undo deltas reclaimed."""
+        return self.gc.collect()
+
+    def prune_history(self, before_ts: int) -> int:
+        """Retention: permanently drop historical versions that ended
+        at or before ``before_ts``.
+
+        Returns the number of history records removed.  Versions still
+        current at ``before_ts`` (and everything newer) remain fully
+        queryable.  With durability enabled, run :meth:`checkpoint`
+        afterwards — otherwise a WAL replay would resurrect the pruned
+        history.
+        """
+        self._require_temporal()
+        return self.history.prune(before_ts)
+
+    def start_background_gc(self, interval_seconds: float = 0.05) -> None:
+        """Run garbage collection periodically on a daemon thread.
+
+        This is the paper's deployment model: migration happens
+        asynchronously to user transactions ("is lightweight to the
+        original databases").  Synchronous commit-count triggering is
+        disabled while the thread runs.
+        """
+        if self._gc_thread is not None:
+            return
+        self._gc_stop = threading.Event()
+        self._gc_interval = 0
+
+        def loop() -> None:
+            while not self._gc_stop.wait(interval_seconds):
+                self.gc.collect()
+
+        self._gc_thread = threading.Thread(target=loop, daemon=True)
+        self._gc_thread.start()
+
+    def stop_background_gc(self) -> None:
+        """Stop the background collector and run one final epoch."""
+        if self._gc_thread is None:
+            return
+        self._gc_stop.set()
+        self._gc_thread.join()
+        self._gc_thread = None
+        self.gc.collect()
+
+    def _reclaim_record(self, record) -> None:
+        self.storage.drop_record(record)
+        self.migrator.forget_object(record.kind, record.gid)
+
+    # -- writes (current store) ------------------------------------------------
+
+    def create_vertex(
+        self,
+        txn: Transaction,
+        labels: tuple[str, ...] | list[str] = (),
+        properties: Optional[dict[str, Any]] = None,
+        valid_time: Optional[tuple[int, int]] = None,
+    ) -> int:
+        """Insert a vertex; optional ``valid_time=(start, end)``."""
+        properties = dict(properties or {})
+        for name in properties:
+            check_property_writable(name)
+        if valid_time is not None:
+            self._require_vt_model()
+            check_valid_time_value(*valid_time)
+            properties[VT_START_PROPERTY] = valid_time[0]
+            properties[VT_END_PROPERTY] = valid_time[1]
+        gid = self.storage.create_vertex(txn, labels, properties)
+        if self._wal is not None:
+            txn.journal.append(("cv", gid, list(labels), properties))
+        return gid
+
+    def create_edge(
+        self,
+        txn: Transaction,
+        from_gid: int,
+        to_gid: int,
+        edge_type: str,
+        properties: Optional[dict[str, Any]] = None,
+        valid_time: Optional[tuple[int, int]] = None,
+    ) -> int:
+        """Insert an edge; optional ``valid_time=(start, end)``."""
+        properties = dict(properties or {})
+        for name in properties:
+            check_property_writable(name)
+        if valid_time is not None:
+            self._require_vt_model()
+            check_valid_time_value(*valid_time)
+            if self.enforce_vt_constraints:
+                self._check_edge_vt(txn, from_gid, to_gid, Interval(*valid_time))
+            properties[VT_START_PROPERTY] = valid_time[0]
+            properties[VT_END_PROPERTY] = valid_time[1]
+        gid = self.storage.create_edge(
+            txn, from_gid, to_gid, edge_type, properties
+        )
+        if self._wal is not None:
+            txn.journal.append(
+                ("ce", gid, from_gid, to_gid, edge_type, properties)
+            )
+        return gid
+
+    def set_vertex_property(self, txn: Transaction, gid: int, name: str, value: Any) -> None:
+        """Set (``value=None`` removes) a vertex property."""
+        check_property_writable(name)
+        self.storage.set_vertex_property(txn, gid, name, value)
+        if self._wal is not None:
+            txn.journal.append(("svp", gid, name, value))
+
+    def set_edge_property(self, txn: Transaction, gid: int, name: str, value: Any) -> None:
+        """Set (``value=None`` removes) an edge property."""
+        check_property_writable(name)
+        self.storage.set_edge_property(txn, gid, name, value)
+        if self._wal is not None:
+            txn.journal.append(("sep", gid, name, value))
+
+    def add_label(self, txn: Transaction, gid: int, label: str) -> bool:
+        added = self.storage.add_label(txn, gid, label)
+        if added and self._wal is not None:
+            txn.journal.append(("al", gid, label))
+        return added
+
+    def remove_label(self, txn: Transaction, gid: int, label: str) -> bool:
+        removed = self.storage.remove_label(txn, gid, label)
+        if removed and self._wal is not None:
+            txn.journal.append(("rl", gid, label))
+        return removed
+
+    def delete_vertex(self, txn: Transaction, gid: int, detach: bool = True) -> None:
+        self.storage.delete_vertex(txn, gid, detach=detach)
+        if self._wal is not None:
+            txn.journal.append(("dv", gid, detach))
+
+    def delete_edge(self, txn: Transaction, gid: int) -> None:
+        self.storage.delete_edge(txn, gid)
+        if self._wal is not None:
+            txn.journal.append(("de", gid))
+
+    def set_valid_time(
+        self,
+        txn: Transaction,
+        object_kind: str,
+        gid: int,
+        vt_start: int,
+        vt_end: int,
+    ) -> None:
+        """Update an object's valid time (user-maintained timeline)."""
+        self._require_vt_model()
+        check_valid_time_value(vt_start, vt_end)
+        if object_kind == "vertex":
+            self.storage.set_vertex_property(txn, gid, VT_START_PROPERTY, vt_start)
+            self.storage.set_vertex_property(txn, gid, VT_END_PROPERTY, vt_end)
+            if self._wal is not None:
+                txn.journal.append(("svp", gid, VT_START_PROPERTY, vt_start))
+                txn.journal.append(("svp", gid, VT_END_PROPERTY, vt_end))
+        elif object_kind == "edge":
+            if self.enforce_vt_constraints:
+                edge = self.storage.get_edge(txn, gid)
+                if edge is not None:
+                    self._check_edge_vt(
+                        txn, edge.from_gid, edge.to_gid, Interval(vt_start, vt_end)
+                    )
+            self.storage.set_edge_property(txn, gid, VT_START_PROPERTY, vt_start)
+            self.storage.set_edge_property(txn, gid, VT_END_PROPERTY, vt_end)
+            if self._wal is not None:
+                txn.journal.append(("sep", gid, VT_START_PROPERTY, vt_start))
+                txn.journal.append(("sep", gid, VT_END_PROPERTY, vt_end))
+        else:
+            raise ValueError(f"unknown object kind {object_kind!r}")
+
+    def _require_vt_model(self) -> None:
+        if self.model == GraphModel.TRANSACTION_TIME:
+            raise TemporalError(
+                "valid time is not part of the transaction-time graph model"
+            )
+
+    def _check_edge_vt(
+        self, txn: Transaction, from_gid: int, to_gid: int, vt: Interval
+    ) -> None:
+        """Constraint (2) of section 2.3: each endpoint's valid time must
+        contain the edge's."""
+        for gid in (from_gid, to_gid):
+            vertex = self.storage.get_vertex(txn, gid)
+            if vertex is None:
+                continue  # existence is checked by create_edge itself
+            vertex_vt = valid_time_of(vertex.properties)
+            if vertex_vt is not None and not vertex_vt.contains(vt):
+                raise ConstraintViolation(
+                    f"edge valid time {vt} not contained in vertex {gid}'s "
+                    f"valid time {vertex_vt}"
+                )
+
+    # -- non-temporal reads ----------------------------------------------------
+
+    def get_vertex(self, txn: Transaction, gid: int) -> Optional[VertexView]:
+        return self.storage.get_vertex(txn, gid)
+
+    def get_edge(self, txn: Transaction, gid: int) -> Optional[EdgeView]:
+        return self.storage.get_edge(txn, gid)
+
+    def iter_vertices(self, txn: Transaction) -> Iterator[VertexView]:
+        return self.storage.iter_vertices(txn)
+
+    def iter_edges(self, txn: Transaction) -> Iterator[EdgeView]:
+        return self.storage.iter_edges(txn)
+
+    # -- temporal reads (transaction-time queries) ---------------------------------
+
+    def _require_temporal(self) -> None:
+        if not self.temporal:
+            raise TemporalError(
+                "this engine was built with temporal=False (TGDB-noT)"
+            )
+
+    def vertices_as_of(
+        self,
+        txn: Transaction,
+        t: int,
+        label: Optional[str] = None,
+        prop: Optional[str] = None,
+        value: Any = None,
+    ) -> Iterator[VertexView]:
+        """``TT SNAPSHOT t`` scan."""
+        self._require_temporal()
+        cond = TemporalCondition.as_of(t)
+        return self.operators.scan_vertices(txn, cond, label, prop, value)
+
+    def vertices_between(
+        self,
+        txn: Transaction,
+        t1: int,
+        t2: int,
+        label: Optional[str] = None,
+        prop: Optional[str] = None,
+        value: Any = None,
+    ) -> Iterator[VertexView]:
+        """``TT BETWEEN t1 AND t2`` scan."""
+        self._require_temporal()
+        cond = TemporalCondition.between(t1, t2)
+        return self.operators.scan_vertices(txn, cond, label, prop, value)
+
+    def vertex_versions(
+        self, txn: Transaction, gid: int, cond: TemporalCondition
+    ) -> Iterator[VertexView]:
+        """Versions of one vertex satisfying ``cond``."""
+        self._require_temporal()
+        return self.operators.vertex_versions(txn, gid, cond)
+
+    def edge_versions(
+        self, txn: Transaction, gid: int, cond: TemporalCondition
+    ) -> Iterator[EdgeView]:
+        """Versions of one edge satisfying ``cond``."""
+        self._require_temporal()
+        return self.operators.edge_versions(txn, gid, cond)
+
+    def expand(
+        self,
+        txn: Transaction,
+        vertex: VertexView,
+        cond: TemporalCondition,
+        direction: str = "out",
+        edge_types: Optional[set[str]] = None,
+    ) -> Iterator[tuple[EdgeView, VertexView]]:
+        """Temporal expand from one vertex version (Algorithm 3)."""
+        self._require_temporal()
+        return self.operators.expand(txn, vertex, cond, direction, edge_types)
+
+    def diff_vertex(
+        self, txn: Transaction, gid: int, t1: int, t2: int
+    ) -> Optional[dict[str, Any]]:
+        """What changed on a vertex between two instants.
+
+        Returns ``None`` when the vertex exists at neither instant;
+        otherwise a dict with ``added`` / ``removed`` / ``changed``
+        property maps (changed maps to ``(old, new)`` tuples),
+        ``labels_added`` / ``labels_removed``, and ``existence`` —
+        ``"created"``, ``"deleted"`` or ``"unchanged"`` over the span.
+        A typical audit primitive: "what did this account change
+        between the two statements?"
+        """
+        self._require_temporal()
+        before = next(
+            iter(self.operators.vertex_versions(txn, gid, TemporalCondition.as_of(t1))),
+            None,
+        )
+        after = next(
+            iter(self.operators.vertex_versions(txn, gid, TemporalCondition.as_of(t2))),
+            None,
+        )
+        if before is None and after is None:
+            return None
+        old_props = before.properties if before is not None else {}
+        new_props = after.properties if after is not None else {}
+        old_labels = before.labels if before is not None else set()
+        new_labels = after.labels if after is not None else set()
+        if before is None:
+            existence = "created"
+        elif after is None:
+            existence = "deleted"
+        else:
+            existence = "unchanged"
+        return {
+            "existence": existence,
+            "added": {
+                name: value
+                for name, value in new_props.items()
+                if name not in old_props
+            },
+            "removed": {
+                name: value
+                for name, value in old_props.items()
+                if name not in new_props
+            },
+            "changed": {
+                name: (old_props[name], value)
+                for name, value in new_props.items()
+                if name in old_props and old_props[name] != value
+            },
+            "labels_added": sorted(new_labels - old_labels),
+            "labels_removed": sorted(old_labels - new_labels),
+        }
+
+    def metrics(self) -> dict[str, Any]:
+        """Operational counters across every component (monitoring)."""
+        kv_stats = self.history.kv.stats
+        return {
+            "transactions": {
+                "active": self.manager.active_count,
+                "pending_gc": len(self.manager.committed_pending_gc),
+                "next_timestamp": self.manager.oracle.peek(),
+            },
+            "gc": {
+                "runs": self.gc.runs,
+                "deltas_reclaimed": self.gc.deltas_reclaimed,
+            },
+            "migration": {
+                "epochs": self.migrator.migrations,
+                "transactions_migrated": self.migrator.transactions_migrated,
+                "records_written": self.history.records_written,
+                "anchors_written": self.history.anchors_written,
+            },
+            "history_kv": {
+                "puts": kv_stats.puts,
+                "gets": kv_stats.gets,
+                "seeks": kv_stats.seeks,
+                "flushes": kv_stats.flushes,
+                "compactions": kv_stats.compactions,
+                "batch_writes": kv_stats.batch_writes,
+                "bytes": self.history.storage_bytes(),
+            },
+            "caches": {
+                "payloads": len(self.history._payload_cache),
+                "objects": len(self.history._object_cache),
+                "mentions": len(self.history._mention_cache),
+            },
+            "current_store": {
+                "vertices": self.storage.vertex_count(),
+                "edges": self.storage.edge_count(),
+                "bytes": self.storage.approximate_bytes(),
+            },
+            "wal": {
+                "enabled": self._wal is not None,
+                "records": (
+                    self._wal.records_appended if self._wal is not None else 0
+                ),
+            },
+        }
+
+    # -- query language -----------------------------------------------------------
+
+    def execute(
+        self,
+        query: str,
+        parameters: Optional[dict[str, Any]] = None,
+        txn: Optional[Transaction] = None,
+    ) -> list[dict[str, Any]]:
+        """Run one query in the Cypher-ish surface language.
+
+        Without an explicit ``txn`` the query runs in its own
+        transaction (committed on success).
+        """
+        from repro.query.executor import execute_query
+
+        if txn is not None:
+            return execute_query(self, txn, query, parameters)
+        with self.transaction() as own:
+            return execute_query(self, own, query, parameters)
+
+    # -- durability (write-ahead log) --------------------------------------------
+
+    def attach_wal(self, directory, wal) -> None:
+        """Start journaling committed transactions to ``wal``."""
+        from pathlib import Path
+
+        self._durability_dir = Path(directory)
+        self._wal = wal
+
+    def checkpoint(self) -> None:
+        """Snapshot the engine and truncate the WAL (bounds recovery).
+
+        Requires durability to be enabled and quiescence (like
+        :meth:`save`).
+        """
+        from repro.core.durability import CHECKPOINT_DIRNAME
+        from repro.core.persistence import save_engine
+
+        if self._wal is None or self._durability_dir is None:
+            raise StorageError("checkpoint requires durability_dir")
+        save_engine(self, self._durability_dir / CHECKPOINT_DIRNAME)
+        self._wal.truncate()
+
+    @classmethod
+    def open(cls, directory, **engine_kwargs) -> "AeonG":
+        """Open (or create) a durable engine rooted at ``directory``:
+        load the newest checkpoint, replay the write-ahead log with the
+        original commit timestamps and gids, continue journaling."""
+        from repro.core.durability import open_engine
+
+        return open_engine(directory, **engine_kwargs)
+
+    def close(self) -> None:
+        """Stop background work and close the WAL."""
+        self.stop_background_gc()
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    # -- persistence ----------------------------------------------------------------
+
+    def save(self, directory) -> None:
+        """Snapshot the whole engine (current store + history + clocks)
+        to a directory.  Requires quiescence; see
+        :mod:`repro.core.persistence`."""
+        from repro.core.persistence import save_engine
+
+        save_engine(self, directory)
+
+    @classmethod
+    def load(cls, directory, **engine_kwargs) -> "AeonG":
+        """Rebuild an engine saved with :meth:`save`.  Indexes are not
+        persisted — recreate them after loading."""
+        from repro.core.persistence import load_engine
+
+        return load_engine(directory, **engine_kwargs)
+
+    def explain(self, query: str) -> list[str]:
+        """The physical plan for a statement, one operator per line.
+
+        Plans against the current schema (indexes change scan choices),
+        without executing anything.
+        """
+        from repro.query.parser import parse
+        from repro.query.planner import plan_query
+
+        plan = plan_query(parse(query), self)
+        lines = [op.describe() for op in plan.ops]
+        if plan.tt is not None:
+            kind = "SNAPSHOT" if plan.tt.kind == "snapshot" else "BETWEEN"
+            lines.append(f"Temporal(TT {kind})")
+        if plan.returns is not None:
+            modifiers = []
+            if plan.returns.distinct:
+                modifiers.append("DISTINCT")
+            if plan.returns.order_by:
+                modifiers.append("ORDER BY")
+            if plan.returns.limit is not None:
+                modifiers.append("LIMIT")
+            suffix = f" [{', '.join(modifiers)}]" if modifiers else ""
+            lines.append(f"Produce({len(plan.returns.items)} columns){suffix}")
+        return lines
+
+    # -- indexes -------------------------------------------------------------------
+
+    def create_label_index(self, label: str) -> None:
+        self.storage.create_label_index(label)
+
+    def create_label_property_index(self, label: str, prop: str) -> None:
+        self.storage.create_label_property_index(label, prop)
+
+    def create_unique_constraint(self, label: str, prop: str) -> None:
+        """Enforce uniqueness of ``prop`` among ``:label`` vertices.
+
+        Like indexes, constraints are in-memory schema: recreate them
+        after :meth:`load`/:meth:`open`.
+        """
+        self.storage.create_unique_constraint(label, prop)
+
+    def drop_unique_constraint(self, label: str, prop: str) -> None:
+        self.storage.drop_unique_constraint(label, prop)
+
+    # -- accounting ---------------------------------------------------------------
+
+    def storage_report(self) -> StorageReport:
+        """Byte-accurate storage breakdown (used by the benchmarks)."""
+        return StorageReport(
+            current_bytes=self.storage.approximate_bytes(),
+            history_bytes=self.history.storage_bytes(),
+            vertex_count=self.storage.vertex_count(),
+            edge_count=self.storage.edge_count(),
+            history_records=self.history.records_written,
+            anchors=self.history.anchors_written,
+        )

@@ -1,0 +1,101 @@
+"""History-store key codec (paper section 4.2, "KV format").
+
+A key combines the record's segment (``V`` vertex content, ``E`` edge
+content, ``T`` graph topology — the paper's ``VE``), the kind suffix
+(``A`` anchor, ``D`` delta), the graph identifier, and the version's
+transaction-time interval::
+
+    segment(1) | kind(1) | gid(8, big-endian) | tt_end(8) | tt_start(8)
+
+Byte-wise lexicographic order therefore clusters one object's history
+contiguously per (segment, kind), sorted by version end time — which is
+what the anchor seek and the version walk of ``FetchFromKV`` rely on.
+``tt_end`` precedes ``tt_start`` because the reconstruction scans ask
+"first record with ``tt_end > t``".
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import NamedTuple
+
+from repro.errors import CorruptionError
+
+SEGMENT_VERTEX = b"V"
+SEGMENT_EDGE = b"E"
+SEGMENT_TOPOLOGY = b"T"
+
+KIND_ANCHOR = b"A"
+KIND_DELTA = b"D"
+
+_SEGMENTS = (SEGMENT_VERTEX, SEGMENT_EDGE, SEGMENT_TOPOLOGY)
+_KINDS = (KIND_ANCHOR, KIND_DELTA)
+
+_GID = struct.Struct(">Q")
+_TT = struct.Struct(">QQ")
+
+KEY_LENGTH = 2 + 8 + 16
+
+
+class HistoryKey(NamedTuple):
+    """Decoded form of a history-store key."""
+
+    segment: bytes
+    kind: bytes
+    gid: int
+    tt_start: int
+    tt_end: int
+
+
+def encode_key(
+    segment: bytes, kind: bytes, gid: int, tt_start: int, tt_end: int
+) -> bytes:
+    """Build the sortable byte key for one history record."""
+    if segment not in _SEGMENTS:
+        raise ValueError(f"unknown segment {segment!r}")
+    if kind not in _KINDS:
+        raise ValueError(f"unknown kind {kind!r}")
+    if gid < 0 or tt_start < 0 or tt_end < 0:
+        raise ValueError("gid and timestamps must be non-negative")
+    return segment + kind + _GID.pack(gid) + _TT.pack(tt_end, tt_start)
+
+
+def decode_key(key: bytes) -> HistoryKey:
+    """Parse a key produced by :func:`encode_key`."""
+    if len(key) != KEY_LENGTH:
+        raise CorruptionError(f"history key has length {len(key)}")
+    segment = key[0:1]
+    kind = key[1:2]
+    if segment not in _SEGMENTS or kind not in _KINDS:
+        raise CorruptionError(f"bad history key prefix {key[:2]!r}")
+    (gid,) = _GID.unpack_from(key, 2)
+    tt_end, tt_start = _TT.unpack_from(key, 10)
+    return HistoryKey(segment, kind, gid, tt_start, tt_end)
+
+
+def object_prefix(segment: bytes, kind: bytes, gid: int) -> bytes:
+    """Prefix covering every record of one object in one segment/kind."""
+    if segment not in _SEGMENTS:
+        raise ValueError(f"unknown segment {segment!r}")
+    if kind not in _KINDS:
+        raise ValueError(f"unknown kind {kind!r}")
+    return segment + kind + _GID.pack(gid)
+
+
+def seek_key_after(segment: bytes, kind: bytes, gid: int, t: int) -> bytes:
+    """Smallest key of ``gid`` whose ``tt_end`` exceeds ``t``.
+
+    Seeking here and scanning forward visits the object's versions that
+    end strictly after ``t`` — the entry point of both the anchor seek
+    and the delta walk in ``FetchFromKV``.
+    """
+    return object_prefix(segment, kind, gid) + _TT.pack(t + 1, 0)
+
+
+def segment_prefix(segment: bytes, kind: bytes) -> bytes:
+    """Prefix covering a whole segment/kind (e.g. every vertex delta)."""
+    if segment not in _SEGMENTS:
+        raise ValueError(f"unknown segment {segment!r}")
+    if kind not in _KINDS:
+        raise ValueError(f"unknown kind {kind!r}")
+    return segment + kind

@@ -1,0 +1,136 @@
+"""``Migrate(CT)`` — paper Algorithm 1.
+
+Called from the garbage collector with the committed transactions that
+are no longer visible to any snapshot.  Each transaction's undo buffer
+is merged into history records (``encode2KV``), anchors are interleaved
+per the anchor policy, and the whole epoch is installed with one atomic
+batch write (``putMultiples``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.anchors import AnchorPolicy, historical_state
+from repro.core.deltas import RecordDraft, merge_transaction_deltas
+from repro.core.history_store import HistoricalStore
+from repro.core.keys import SEGMENT_EDGE, SEGMENT_TOPOLOGY, SEGMENT_VERTEX
+from repro.core.reconstruct import anchor_payload_from_view
+from repro.graph.storage import GraphStorage
+from repro.kvstore import WriteBatch
+from repro.mvcc.transaction import Transaction
+
+
+class Migrator:
+    """Encodes expiring undo deltas into the historical store."""
+
+    def __init__(
+        self,
+        storage: GraphStorage,
+        history: HistoricalStore,
+        anchor_policy: Optional[AnchorPolicy] = None,
+    ) -> None:
+        self.storage = storage
+        self.history = history
+        self.anchor_policy = (
+            anchor_policy if anchor_policy is not None else AnchorPolicy()
+        )
+        self.migrations = 0
+        self.transactions_migrated = 0
+        #: newest migrated *content* version-end per object.  An
+        #: anchor's interval is its content validity: it starts where
+        #: the previous content record ended.  (Topology records track
+        #: a separate timeline; anchor adjacency may be newer than the
+        #: interval claims, which is safe because Expand re-checks
+        #: every candidate edge's own transaction time.)
+        self._last_content_end: dict[tuple[str, int], int] = {}
+
+    def migrate(self, transactions: list[Transaction]) -> int:
+        """Migrate the undo buffers of ``transactions``; returns the
+        number of history records staged.
+
+        Transactions are processed in commit order so per-object anchor
+        counters and validity frontiers advance monotonically.
+        """
+        batch = WriteBatch()
+        staged = 0
+        ordered = sorted(
+            transactions, key=lambda t: t.commit_ts if t.commit_ts else 0
+        )
+        for txn in ordered:
+            deltas = [delta for _record, delta in txn.undo_buffer]
+            if not deltas:
+                continue
+            edge_statics = self._edge_statics(txn)
+            drafts = merge_transaction_deltas(deltas, edge_statics)
+            anchored: set[tuple[str, int]] = set()
+            for draft in drafts:
+                self.history.stage_record(batch, draft)
+                staged += 1
+                self._maybe_stage_anchor(batch, draft, anchored)
+            for draft in drafts:
+                if draft.segment != SEGMENT_TOPOLOGY:
+                    key = (self._object_kind(draft), draft.gid)
+                    self._last_content_end[key] = draft.tt_end
+            self.transactions_migrated += 1
+        self.history.commit_batch(batch)
+        self.migrations += 1
+        return staged
+
+    def forget_object(self, object_kind: str, gid: int) -> None:
+        """Drop per-object migration state (after final reclamation)."""
+        self._last_content_end.pop((object_kind, gid), None)
+        self.anchor_policy.forget(object_kind, gid)
+
+    @staticmethod
+    def _object_kind(draft: RecordDraft) -> str:
+        return "edge" if draft.segment == SEGMENT_EDGE else "vertex"
+
+    def _edge_statics(self, txn: Transaction) -> dict[int, tuple[str, int, int]]:
+        """Static (type, from, to) info for every edge the txn touched."""
+        statics: dict[int, tuple[str, int, int]] = {}
+        for record, delta in txn.undo_buffer:
+            if delta.object_kind == "edge" and delta.object_gid not in statics:
+                statics[delta.object_gid] = (
+                    record.edge_type,
+                    record.from_gid,
+                    record.to_gid,
+                )
+        return statics
+
+    def _maybe_stage_anchor(
+        self, batch: WriteBatch, draft: RecordDraft, anchored: set
+    ) -> None:
+        object_kind = self._object_kind(draft)
+        anchor_segment = (
+            SEGMENT_EDGE if object_kind == "edge" else SEGMENT_VERTEX
+        )
+        if not self.anchor_policy.should_anchor(object_kind, draft.gid):
+            return
+        if (object_kind, draft.gid) in anchored:
+            return  # one anchor per object per transaction
+        valid_from = self._last_content_end.get((object_kind, draft.gid))
+        if valid_from is None or valid_from >= draft.tt_end:
+            # No content record migrated yet (nothing older exists in
+            # the store, so a full-state copy adds nothing), or a
+            # degenerate interval: skip.
+            return
+        record = (
+            self.storage.vertex_record(draft.gid)
+            if object_kind == "vertex"
+            else self.storage.edge_record(draft.gid)
+        )
+        if record is None:
+            return  # object already reclaimed; skip the anchor
+        state = historical_state(record, draft.tt_end)
+        if state is None:
+            return  # the version did not exist (pre-creation)
+        self.history.stage_anchor(
+            batch,
+            anchor_segment,
+            draft.gid,
+            valid_from,
+            draft.tt_end,
+            anchor_payload_from_view(state),
+        )
+        anchored.add((object_kind, draft.gid))

@@ -1,0 +1,77 @@
+"""Shared measurement types for experiments and monitoring.
+
+The paper's evaluation compares systems on storage consumption and
+query latency; every backend in this repo (AeonG and both baselines)
+reports through the same :class:`StorageReport` so benchmark numbers
+are directly comparable.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StorageReport:
+    """Byte-accurate storage breakdown of one backend."""
+
+    current_bytes: int
+    history_bytes: int
+    vertex_count: int
+    edge_count: int
+    history_records: int = 0
+    anchors: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.current_bytes + self.history_bytes
+
+    def __str__(self) -> str:
+        return (
+            f"current={self.current_bytes}B history={self.history_bytes}B "
+            f"total={self.total_bytes}B vertices={self.vertex_count} "
+            f"edges={self.edge_count} records={self.history_records} "
+            f"anchors={self.anchors}"
+        )
+
+
+@dataclass
+class LatencyRecorder:
+    """Collects wall-clock samples; used by the benchmark harness."""
+
+    samples_us: list[float] = field(default_factory=list)
+
+    @contextmanager
+    def measure(self):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.samples_us.append((time.perf_counter() - start) * 1e6)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples_us)
+
+    @property
+    def mean_us(self) -> float:
+        if not self.samples_us:
+            return 0.0
+        return sum(self.samples_us) / len(self.samples_us)
+
+    @property
+    def p50_us(self) -> float:
+        return self._percentile(50.0)
+
+    @property
+    def p99_us(self) -> float:
+        return self._percentile(99.0)
+
+    def _percentile(self, pct: float) -> float:
+        if not self.samples_us:
+            return 0.0
+        ordered = sorted(self.samples_us)
+        rank = max(0, min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]

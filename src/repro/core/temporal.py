@@ -1,0 +1,243 @@
+"""Temporal graph data model: intervals, Allen's algebra, conditions.
+
+Implements section 2 of the paper:
+
+- half-open intervals ``[start, end)`` for both transaction time (TT)
+  and valid time (VT);
+- the thirteen relations of Allen's interval algebra, which back the
+  valid-time predicates of the query language (``OVERLAPS``,
+  ``CONTAINS``, ...);
+- :class:`TemporalCondition`, the normalized form of ``TT SNAPSHOT t``
+  (time-point) and ``TT BETWEEN t1 AND t2`` (time-slice) used by the
+  temporal operators, including Equation 1's match test;
+- the three graph data models (transaction-time, valid-time,
+  bi-temporal) and the constraint checks of section 2.3.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.timeutil import MAX_TIMESTAMP, MIN_TIMESTAMP
+from repro.errors import ImmutableHistoryError, InvalidInterval
+
+#: Reserved property names storing an object's valid time.  Valid-time
+#: queries are rewritten to plain predicates over these (section 3.2:
+#: "valid-time queries can be considered as non-temporal queries with
+#: time conditions").
+VT_START_PROPERTY = "_vt_start"
+VT_END_PROPERTY = "_vt_end"
+
+#: Property names users may not write (transaction time is assigned
+#: exclusively by the engine — constraint 2 of section 2.3).
+RESERVED_PROPERTY_PREFIX = "_tt"
+
+
+class GraphModel(enum.Enum):
+    """Which timelines a temporal graph carries (section 2.1)."""
+
+    TRANSACTION_TIME = "transaction_time"
+    VALID_TIME = "valid_time"
+    BITEMPORAL = "bitemporal"
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open time interval ``[start, end)``.
+
+    ``end == MAX_TIMESTAMP`` encodes the paper's ``∞`` (a current
+    version / an open valid time).
+    """
+
+    start: int
+    end: int = MAX_TIMESTAMP
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise InvalidInterval(f"start {self.start} > end {self.end}")
+
+    def contains_point(self, t: int) -> bool:
+        """Whether instant ``t`` falls inside the interval."""
+        return self.start <= t < self.end
+
+    def contains(self, other: "Interval") -> bool:
+        """Whether ``other`` lies fully inside this interval."""
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether the two intervals share at least one instant."""
+        return self.start < other.end and other.start < self.end
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """The common sub-interval, or None when disjoint."""
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        return Interval(start, end) if start < end else None
+
+    @property
+    def is_empty(self) -> bool:
+        return self.start == self.end
+
+    @property
+    def is_current(self) -> bool:
+        """Open-ended: the version has not been superseded."""
+        return self.end == MAX_TIMESTAMP
+
+    def __repr__(self) -> str:
+        end = "∞" if self.end == MAX_TIMESTAMP else str(self.end)
+        return f"[{self.start},{end})"
+
+
+class AllenRelation(enum.Enum):
+    """The thirteen basic relations of Allen's interval algebra."""
+
+    BEFORE = "before"
+    AFTER = "after"
+    MEETS = "meets"
+    MET_BY = "met_by"
+    OVERLAPS = "overlaps"
+    OVERLAPPED_BY = "overlapped_by"
+    STARTS = "starts"
+    STARTED_BY = "started_by"
+    DURING = "during"
+    CONTAINS = "contains"
+    FINISHES = "finishes"
+    FINISHED_BY = "finished_by"
+    EQUALS = "equals"
+
+
+def allen_relation(a: Interval, b: Interval) -> AllenRelation:
+    """Classify the relation of ``a`` with respect to ``b``.
+
+    Exactly one of the thirteen relations holds for any two non-empty
+    intervals.
+    """
+    if a.is_empty or b.is_empty:
+        raise InvalidInterval("Allen relations are undefined on empty intervals")
+    if a.end < b.start:
+        return AllenRelation.BEFORE
+    if b.end < a.start:
+        return AllenRelation.AFTER
+    if a.end == b.start:
+        return AllenRelation.MEETS
+    if b.end == a.start:
+        return AllenRelation.MET_BY
+    if a.start == b.start and a.end == b.end:
+        return AllenRelation.EQUALS
+    if a.start == b.start:
+        return AllenRelation.STARTS if a.end < b.end else AllenRelation.STARTED_BY
+    if a.end == b.end:
+        return AllenRelation.FINISHES if a.start > b.start else AllenRelation.FINISHED_BY
+    if b.start < a.start and a.end < b.end:
+        return AllenRelation.DURING
+    if a.start < b.start and b.end < a.end:
+        return AllenRelation.CONTAINS
+    if a.start < b.start:
+        return AllenRelation.OVERLAPS
+    return AllenRelation.OVERLAPPED_BY
+
+
+def satisfies_allen(a: Interval, b: Interval, relation: AllenRelation) -> bool:
+    """Whether ``a <relation> b`` holds.
+
+    For the two predicates the query language exposes most prominently
+    we follow SQL:2011 semantics, which are laxer than the basic Allen
+    relation of the same name: ``OVERLAPS`` means "shares an instant"
+    and ``CONTAINS`` means "b lies within a" (endpoint equality
+    allowed).  Every other name tests the exact Allen relation.
+    """
+    if relation == AllenRelation.OVERLAPS:
+        return a.overlaps(b)
+    if relation == AllenRelation.CONTAINS:
+        return a.contains(b)
+    return allen_relation(a, b) == relation
+
+
+class TemporalCondition:
+    """Normalized ``TT SNAPSHOT`` / ``TT BETWEEN`` condition (the ``C``
+    of Algorithms 2 and 3)."""
+
+    __slots__ = ("kind", "t1", "t2", "is_point")
+
+    AS_OF = "as_of"
+    BETWEEN = "between"
+
+    def __init__(self, kind: str, t1: int, t2: int) -> None:
+        if kind not in (self.AS_OF, self.BETWEEN):
+            raise InvalidInterval(f"unknown temporal condition kind {kind!r}")
+        if t1 > t2:
+            raise InvalidInterval(f"t1 {t1} > t2 {t2}")
+        if kind == self.AS_OF and t1 != t2:
+            raise InvalidInterval("time-point condition requires t1 == t2")
+        self.kind = kind
+        self.t1 = t1
+        self.t2 = t2
+        # Plain attribute, not a property: the scan loop reads this per
+        # candidate record.
+        self.is_point = kind == self.AS_OF
+
+    @classmethod
+    def as_of(cls, t: int) -> "TemporalCondition":
+        """``TT SNAPSHOT t`` — a time-point query."""
+        return cls(cls.AS_OF, t, t)
+
+    @classmethod
+    def between(cls, t1: int, t2: int) -> "TemporalCondition":
+        """``TT BETWEEN t1 AND t2`` — a time-slice query."""
+        return cls(cls.BETWEEN, t1, t2)
+
+    def matches(self, tt_start: int, tt_end: int) -> bool:
+        """Equation 1: ``o.TT.st <= C.t2  and  o.TT.ed > C.t1``."""
+        return tt_start <= self.t2 and tt_end > self.t1
+
+    def __repr__(self) -> str:
+        if self.is_point:
+            return f"TT SNAPSHOT {self.t1}"
+        return f"TT BETWEEN {self.t1} AND {self.t2}"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TemporalCondition)
+            and (self.kind, self.t1, self.t2) == (other.kind, other.t1, other.t2)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.t1, self.t2))
+
+
+def intersects(a_start: int, a_end: int, b_start: int, b_end: int) -> bool:
+    """Equation 2's TT-intersection test between an edge and a vertex.
+
+    The paper prints the equation with a typo (it is unsatisfiable as
+    written); the prose — "check if the transaction time of the vertex
+    and the edge have an intersection" — is the standard half-open
+    overlap test, which we implement.
+    """
+    return a_start < b_end and b_start < a_end
+
+
+def check_valid_time_value(vt_start: int, vt_end: int) -> None:
+    """Validate a user-supplied valid-time interval."""
+    if not (MIN_TIMESTAMP <= vt_start <= vt_end <= MAX_TIMESTAMP):
+        raise InvalidInterval(
+            f"invalid valid-time interval [{vt_start},{vt_end})"
+        )
+
+
+def check_property_writable(name: str) -> None:
+    """Constraint: users never assign transaction time (section 2.3)."""
+    if name.startswith(RESERVED_PROPERTY_PREFIX):
+        raise ImmutableHistoryError(
+            f"property {name!r} is reserved: transaction time is assigned "
+            "by the engine only"
+        )
+
+
+def valid_time_of(properties: dict) -> Interval | None:
+    """Extract the VT interval from a property map, if present."""
+    start = properties.get(VT_START_PROPERTY)
+    end = properties.get(VT_END_PROPERTY, MAX_TIMESTAMP)
+    if start is None:
+        return None
+    return Interval(start, end)

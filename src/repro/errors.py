@@ -1,0 +1,106 @@
+"""Exception hierarchy for the AeonG/TGDB reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch the whole family with a single ``except`` clause.
+The hierarchy mirrors the subsystems: storage, transactions, temporal
+constraints, and the query language.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class StorageError(ReproError):
+    """A failure inside one of the storage engines."""
+
+
+class KVStoreError(StorageError):
+    """A failure inside the key-value store substrate."""
+
+
+class CorruptionError(KVStoreError):
+    """On-disk or in-memory data failed an integrity check."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction-level failures."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted and its effects rolled back."""
+
+
+class SerializationConflict(TransactionAborted):
+    """A write-write conflict was detected under snapshot isolation."""
+
+
+class TransactionStateError(TransactionError):
+    """An operation was attempted on a finished or unknown transaction."""
+
+
+class GraphError(ReproError):
+    """Base class for graph-layer failures."""
+
+
+class VertexNotFound(GraphError):
+    """The referenced vertex does not exist (or is not visible)."""
+
+    def __init__(self, gid: int) -> None:
+        super().__init__(f"vertex gid={gid} not found")
+        self.gid = gid
+
+
+class EdgeNotFound(GraphError):
+    """The referenced edge does not exist (or is not visible)."""
+
+    def __init__(self, gid: int) -> None:
+        super().__init__(f"edge gid={gid} not found")
+        self.gid = gid
+
+
+class ConstraintViolation(GraphError):
+    """A temporal-graph constraint from paper section 2.3 was violated."""
+
+
+class TemporalError(ReproError):
+    """Base class for temporal-model failures."""
+
+
+class InvalidInterval(TemporalError):
+    """An interval with ``start > end`` (or other malformed bounds)."""
+
+
+class ImmutableHistoryError(TemporalError):
+    """An attempt to modify historical graph objects or transaction time.
+
+    The transaction-time model forbids users from assigning transaction
+    time or editing historical versions (constraints 2 and 3 of the
+    transaction-time data model).
+    """
+
+
+class QueryError(ReproError):
+    """Base class for query-language failures."""
+
+
+class LexerError(QueryError):
+    """The query text could not be tokenized."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(QueryError):
+    """The token stream does not form a valid query."""
+
+
+class PlanningError(QueryError):
+    """A semantically invalid query (unknown variable, bad projection)."""
+
+
+class ExecutionError(QueryError):
+    """A runtime failure while executing a query plan."""

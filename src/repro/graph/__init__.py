@@ -1,0 +1,22 @@
+"""Property-graph storage on the MVCC substrate (the "current store").
+
+Vertices and edges are updated in place; every change creates an undo
+delta chained newest-to-oldest (see :mod:`repro.mvcc`).  This package
+is the stand-in for Memgraph's native storage: AeonG keeps it as the
+*current data storage engine* and attaches the historical store beside
+it (paper section 3.1).
+"""
+
+from repro.graph.edge import EdgeRecord
+from repro.graph.storage import GraphStorage
+from repro.graph.vertex import EdgeRef, VertexRecord
+from repro.graph.views import EdgeView, VertexView
+
+__all__ = [
+    "GraphStorage",
+    "VertexRecord",
+    "EdgeRecord",
+    "EdgeRef",
+    "VertexView",
+    "EdgeView",
+]

@@ -1,0 +1,64 @@
+"""The in-place edge record of the current store."""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from repro.common.serde import encoded_size
+from repro.common.timeutil import MIN_TIMESTAMP
+from repro.mvcc.delta import Delta
+
+
+class EdgeRecord:
+    """Mutable current-state edge (plus its version chain head).
+
+    Endpoints are stored by gid; the vertex adjacency stubs
+    (:class:`~repro.graph.vertex.EdgeRef`) are the structure the query
+    engine actually traverses, so an edge record is only consulted for
+    its type, properties and transaction time.
+    """
+
+    __slots__ = (
+        "gid",
+        "edge_type",
+        "from_gid",
+        "to_gid",
+        "properties",
+        "deleted",
+        "delta_head",
+        "tt_start",
+        "lock",
+    )
+
+    def __init__(
+        self, gid: int, edge_type: str, from_gid: int, to_gid: int
+    ) -> None:
+        self.gid = gid
+        self.edge_type = edge_type
+        self.from_gid = from_gid
+        self.to_gid = to_gid
+        self.properties: dict[str, Any] = {}
+        self.deleted = False
+        self.delta_head: Optional[Delta] = None
+        self.tt_start = MIN_TIMESTAMP
+        self.lock = threading.RLock()
+
+    @property
+    def kind(self) -> str:
+        return "edge"
+
+    def approximate_bytes(self) -> int:
+        """Wire-size model of the record (storage accounting)."""
+        size = 8 * 3  # gid + both endpoints
+        size += encoded_size(self.edge_type)
+        size += encoded_size(self.properties)
+        size += 8  # transaction-time field
+        return size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "deleted" if self.deleted else "live"
+        return (
+            f"EdgeRecord(gid={self.gid}, {state}, "
+            f"{self.from_gid}-[{self.edge_type}]->{self.to_gid})"
+        )

@@ -1,0 +1,83 @@
+"""The in-place vertex record of the current store.
+
+A record always holds the *newest* state; older versions are derived by
+applying the undo-delta chain hanging off ``delta_head``.  Besides the
+regular transaction-time field (``tt_start``, reset by every content
+change) a vertex keeps a second one for its latest *structural* change
+(``tt_structure_start``) — the paper adds it so topology deltas (the
+``VE`` records) can be timestamped independently of property updates
+(section 4.1, "Assigning transaction-time").
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, NamedTuple, Optional
+
+from repro.common.serde import encoded_size
+from repro.common.timeutil import MIN_TIMESTAMP
+from repro.mvcc.delta import Delta
+
+
+class EdgeRef(NamedTuple):
+    """A lightweight edge stub stored in a vertex's adjacency lists.
+
+    Memgraph keeps ``(edge type, other endpoint, edge pointer)`` stubs
+    on both endpoints; expansion reads these before touching the edge
+    record itself.
+    """
+
+    edge_type: str
+    other_gid: int
+    edge_gid: int
+
+
+class VertexRecord:
+    """Mutable current-state vertex (plus its version chain head)."""
+
+    __slots__ = (
+        "gid",
+        "labels",
+        "properties",
+        "out_edges",
+        "in_edges",
+        "deleted",
+        "delta_head",
+        "tt_start",
+        "tt_structure_start",
+        "lock",
+    )
+
+    def __init__(self, gid: int) -> None:
+        self.gid = gid
+        self.labels: set[str] = set()
+        self.properties: dict[str, Any] = {}
+        self.out_edges: list[EdgeRef] = []
+        self.in_edges: list[EdgeRef] = []
+        self.deleted = False
+        self.delta_head: Optional[Delta] = None
+        self.tt_start = MIN_TIMESTAMP
+        self.tt_structure_start = MIN_TIMESTAMP
+        self.lock = threading.RLock()
+
+    @property
+    def kind(self) -> str:
+        return "vertex"
+
+    def approximate_bytes(self) -> int:
+        """Wire-size model of the record (storage accounting).
+
+        Counts gid, labels, properties and adjacency stubs with the
+        same encoder the history store uses, so current-store and
+        history-store sizes are comparable.
+        """
+        size = 8  # gid
+        size += encoded_size(sorted(self.labels))
+        size += encoded_size(self.properties)
+        size += 17 * (len(self.out_edges) + len(self.in_edges))
+        size += 16  # two transaction-time fields
+        return size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "deleted" if self.deleted else "live"
+        return f"VertexRecord(gid={self.gid}, {state}, labels={sorted(self.labels)})"

@@ -1,0 +1,258 @@
+"""Graph import/export: JSONL and CSV, current-state and full history.
+
+Interchange formats for getting data in and out of the engine:
+
+- **JSONL** — one JSON object per line; vertices carry ``labels`` and
+  ``properties``, edges carry ``type``, endpoints and ``properties``.
+  ``export_history_jsonl`` additionally dumps *every version* of every
+  object with its transaction-time interval — an audit-grade export
+  only a temporal database can produce.
+- **CSV** — ``vertices.csv`` / ``edges.csv`` with a JSON-encoded
+  property column, the common denominator for spreadsheet-style
+  tooling and bulk loaders.
+
+Imports allocate fresh gids; both importers return the old-id → new-id
+mapping so callers can rewire references.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.common.timeutil import MAX_TIMESTAMP
+from repro.core.temporal import TemporalCondition
+from repro.errors import StorageError
+
+
+# -- JSONL ---------------------------------------------------------------------
+
+
+def export_jsonl(engine, path) -> int:
+    """Write the current visible graph as JSONL; returns line count."""
+    path = Path(path)
+    count = 0
+    txn = engine.begin()
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            for vertex in engine.iter_vertices(txn):
+                handle.write(
+                    json.dumps(
+                        {
+                            "kind": "vertex",
+                            "id": vertex.gid,
+                            "labels": sorted(vertex.labels),
+                            "properties": vertex.properties,
+                        },
+                        default=_json_fallback,
+                    )
+                    + "\n"
+                )
+                count += 1
+            for edge in engine.iter_edges(txn):
+                handle.write(
+                    json.dumps(
+                        {
+                            "kind": "edge",
+                            "id": edge.gid,
+                            "type": edge.edge_type,
+                            "from": edge.from_gid,
+                            "to": edge.to_gid,
+                            "properties": edge.properties,
+                        },
+                        default=_json_fallback,
+                    )
+                    + "\n"
+                )
+                count += 1
+    finally:
+        engine.abort(txn)
+    return count
+
+
+def export_history_jsonl(engine, path) -> int:
+    """Write *every version* of every vertex and edge as JSONL.
+
+    Each line carries the version's transaction-time interval
+    (``tt: [start, end]``; ``end: null`` for current versions) — the
+    complete audit trail, reconstructed from the hybrid store.
+    """
+    path = Path(path)
+    cond = TemporalCondition.between(0, engine.now())
+    count = 0
+    txn = engine.begin()
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            seen_vertices: set[int] = set()
+            for record in engine.storage.iter_vertex_records():
+                seen_vertices.add(record.gid)
+            for gid in engine.history.known_gids("vertex"):
+                seen_vertices.add(gid)
+            for gid in sorted(seen_vertices):
+                for view in engine.vertex_versions(txn, gid, cond):
+                    handle.write(_version_line("vertex", gid, view) + "\n")
+                    count += 1
+            seen_edges: set[int] = set()
+            for record in engine.storage.iter_edge_records():
+                seen_edges.add(record.gid)
+            for gid in engine.history.known_gids("edge"):
+                seen_edges.add(gid)
+            for gid in sorted(seen_edges):
+                for view in engine.edge_versions(txn, gid, cond):
+                    handle.write(_version_line("edge", gid, view) + "\n")
+                    count += 1
+    finally:
+        engine.abort(txn)
+    return count
+
+
+def _version_line(kind: str, gid: int, view) -> str:
+    payload: dict[str, Any] = {
+        "kind": kind,
+        "id": gid,
+        "properties": view.properties,
+        "tt": [
+            view.tt_start,
+            None if view.tt_end == MAX_TIMESTAMP else view.tt_end,
+        ],
+    }
+    if kind == "vertex":
+        payload["labels"] = sorted(view.labels)
+    else:
+        payload["type"] = view.edge_type
+        payload["from"] = view.from_gid
+        payload["to"] = view.to_gid
+    return json.dumps(payload, default=_json_fallback)
+
+
+def import_jsonl(engine, path, txn=None) -> dict[int, int]:
+    """Load a JSONL export; returns {exported id -> new gid}.
+
+    Vertices must precede the edges that reference them (the exporters
+    guarantee this).  Runs in one transaction (the caller's, if given).
+    """
+    path = Path(path)
+    own_txn = txn is None
+    if own_txn:
+        txn = engine.begin()
+    mapping: dict[int, int] = {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                kind = record.get("kind")
+                if kind == "vertex":
+                    gid = engine.create_vertex(
+                        txn, record.get("labels", ()), record.get("properties")
+                    )
+                    mapping[record["id"]] = gid
+                elif kind == "edge":
+                    source = mapping.get(record["from"])
+                    target = mapping.get(record["to"])
+                    if source is None or target is None:
+                        raise StorageError(
+                            f"line {line_no}: edge references unknown vertex"
+                        )
+                    gid = engine.create_edge(
+                        txn,
+                        source,
+                        target,
+                        record["type"],
+                        record.get("properties"),
+                    )
+                    mapping[record["id"]] = gid
+                else:
+                    raise StorageError(f"line {line_no}: unknown kind {kind!r}")
+    except BaseException:
+        if own_txn and txn.is_active:
+            engine.abort(txn)
+        raise
+    if own_txn:
+        engine.commit(txn)
+    return mapping
+
+
+# -- CSV ---------------------------------------------------------------------------
+
+
+def export_csv(engine, directory) -> tuple[int, int]:
+    """Write ``vertices.csv`` and ``edges.csv``; returns (v, e) counts."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    txn = engine.begin()
+    vertices = edges = 0
+    try:
+        with open(directory / "vertices.csv", "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["id", "labels", "properties"])
+            for vertex in engine.iter_vertices(txn):
+                writer.writerow(
+                    [
+                        vertex.gid,
+                        ";".join(sorted(vertex.labels)),
+                        json.dumps(vertex.properties, default=_json_fallback),
+                    ]
+                )
+                vertices += 1
+        with open(directory / "edges.csv", "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["id", "type", "from", "to", "properties"])
+            for edge in engine.iter_edges(txn):
+                writer.writerow(
+                    [
+                        edge.gid,
+                        edge.edge_type,
+                        edge.from_gid,
+                        edge.to_gid,
+                        json.dumps(edge.properties, default=_json_fallback),
+                    ]
+                )
+                edges += 1
+    finally:
+        engine.abort(txn)
+    return vertices, edges
+
+
+def import_csv(engine, directory, txn=None) -> dict[int, int]:
+    """Load a CSV export; returns {exported id -> new gid}."""
+    directory = Path(directory)
+    own_txn = txn is None
+    if own_txn:
+        txn = engine.begin()
+    mapping: dict[int, int] = {}
+    try:
+        with open(directory / "vertices.csv", newline="", encoding="utf-8") as handle:
+            for row in csv.DictReader(handle):
+                labels = [l for l in row["labels"].split(";") if l]
+                gid = engine.create_vertex(
+                    txn, labels, json.loads(row["properties"])
+                )
+                mapping[int(row["id"])] = gid
+        with open(directory / "edges.csv", newline="", encoding="utf-8") as handle:
+            for row in csv.DictReader(handle):
+                source = mapping.get(int(row["from"]))
+                target = mapping.get(int(row["to"]))
+                if source is None or target is None:
+                    raise StorageError("edge references unknown vertex")
+                gid = engine.create_edge(
+                    txn, source, target, row["type"], json.loads(row["properties"])
+                )
+                mapping[int(row["id"])] = gid
+    except BaseException:
+        if own_txn and txn.is_active:
+            engine.abort(txn)
+        raise
+    if own_txn:
+        engine.commit(txn)
+    return mapping
+
+
+def _json_fallback(value: Any) -> Any:
+    if isinstance(value, bytes):
+        return value.hex()
+    raise TypeError(f"not JSON serializable: {type(value)!r}")

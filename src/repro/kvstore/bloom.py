@@ -1,0 +1,94 @@
+"""Bloom filters for SSTable point lookups.
+
+A RocksDB staple: each immutable run keeps a small bit array so a
+``get`` for an absent key usually skips the run without a binary
+search.  No false negatives, tunable false-positive rate.
+
+Double hashing (Kirsch–Mitzenmacher): two 64-bit halves of a BLAKE2b
+digest generate the k probe positions — deterministic across processes
+so the filter can be persisted alongside the table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+
+from repro.errors import CorruptionError
+
+_HEADER = struct.Struct(">IIQ")  # bit count, hash count, item count
+
+
+def _hash_pair(key: bytes) -> tuple[int, int]:
+    digest = hashlib.blake2b(key, digest_size=16).digest()
+    h1, h2 = struct.unpack(">QQ", digest)
+    return h1, h2 | 1  # odd step so probes cycle through all bits
+
+
+class BloomFilter:
+    """A fixed-size Bloom filter over byte-string keys."""
+
+    def __init__(self, capacity: int, fp_rate: float = 0.01) -> None:
+        if capacity < 1:
+            capacity = 1
+        if not 0.0 < fp_rate < 1.0:
+            raise ValueError("fp_rate must be in (0, 1)")
+        bits = max(8, int(-capacity * math.log(fp_rate) / (math.log(2) ** 2)))
+        self._bits = bits
+        self._hashes = max(1, round(bits / capacity * math.log(2)))
+        self._array = bytearray((bits + 7) // 8)
+        self._count = 0
+
+    @property
+    def bit_count(self) -> int:
+        return self._bits
+
+    @property
+    def hash_count(self) -> int:
+        return self._hashes
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add(self, key: bytes) -> None:
+        h1, h2 = _hash_pair(bytes(key))
+        for i in range(self._hashes):
+            position = (h1 + i * h2) % self._bits
+            self._array[position >> 3] |= 1 << (position & 7)
+        self._count += 1
+
+    def might_contain(self, key: bytes) -> bool:
+        """False means definitely absent; True means probably present."""
+        h1, h2 = _hash_pair(bytes(key))
+        for i in range(self._hashes):
+            position = (h1 + i * h2) % self._bits
+            if not self._array[position >> 3] & (1 << (position & 7)):
+                return False
+        return True
+
+    @property
+    def approximate_bytes(self) -> int:
+        return len(self._array) + _HEADER.size
+
+    # -- persistence -------------------------------------------------------
+
+    def encode(self) -> bytes:
+        return _HEADER.pack(self._bits, self._hashes, self._count) + bytes(
+            self._array
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "BloomFilter":
+        if len(data) < _HEADER.size:
+            raise CorruptionError("bloom filter shorter than header")
+        bits, hashes, count = _HEADER.unpack_from(data)
+        array = data[_HEADER.size:]
+        if len(array) != (bits + 7) // 8:
+            raise CorruptionError("bloom filter bit-array length mismatch")
+        instance = object.__new__(cls)
+        instance._bits = bits
+        instance._hashes = hashes
+        instance._array = bytearray(array)
+        instance._count = count
+        return instance

@@ -1,0 +1,65 @@
+"""K-way merging iterators over memtable + SSTable runs.
+
+Reads must see the *newest* write for each key.  Runs are passed
+newest-first; the merge keeps, for each key, the entry from the
+lowest-indexed (newest) run and drops older duplicates.  Tombstones are
+resolved here: a surviving tombstone suppresses the key entirely.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, Optional
+
+from repro.kvstore.api import Entry
+
+
+def merge_runs(
+    runs: list[Iterable[tuple[bytes, Optional[bytes]]]],
+    keep_tombstones: bool = False,
+) -> Iterator[tuple[bytes, Optional[bytes]]]:
+    """Merge sorted runs, newest run first, deduplicating by key.
+
+    Yields ``(key, value_or_tombstone)`` in ascending key order.  When
+    ``keep_tombstones`` is false, keys whose newest entry is a tombstone
+    are skipped (the read path); compaction passes true to retain the
+    markers for lower levels.
+    """
+    heap: list[tuple[bytes, int, Optional[bytes], Iterator]] = []
+    for age, run in enumerate(runs):
+        iterator = iter(run)
+        for key, value in iterator:
+            heapq.heappush(heap, (key, age, value, iterator))
+            break
+    last_key: Optional[bytes] = None
+    while heap:
+        key, age, value, iterator = heapq.heappop(heap)
+        for next_key, next_value in iterator:
+            heapq.heappush(heap, (next_key, age, next_value, iterator))
+            break
+        if key == last_key:
+            continue  # an older run's duplicate
+        last_key = key
+        if value is None and not keep_tombstones:
+            continue
+        yield key, value
+
+
+def entries(
+    merged: Iterator[tuple[bytes, Optional[bytes]]]
+) -> Iterator[Entry]:
+    """Wrap live merged pairs into :class:`Entry` objects."""
+    for key, value in merged:
+        if value is not None:
+            yield Entry(key, value)
+
+
+def bounded(
+    merged: Iterator[tuple[bytes, Optional[bytes]]],
+    prefix: bytes,
+) -> Iterator[tuple[bytes, Optional[bytes]]]:
+    """Stop iteration as soon as keys leave ``prefix``."""
+    for key, value in merged:
+        if not key.startswith(prefix):
+            return
+        yield key, value

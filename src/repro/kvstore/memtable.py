@@ -1,0 +1,113 @@
+"""Skiplist-backed memtable: the mutable, sorted head of the LSM tree.
+
+A skiplist gives O(log n) expected insert/lookup plus in-order
+traversal and ``seek`` without any rebalancing — the same structure
+RocksDB and Memgraph use for their in-memory sorted runs.  The random
+level generator is seeded per-memtable so behaviour is deterministic
+under a fixed seed (useful for reproducible benchmarks).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+_MAX_LEVEL = 16
+_P = 0.5
+
+
+class _Node:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: Optional[bytes], value: Optional[bytes], level: int):
+        self.key = key
+        self.value = value
+        self.forward: list[Optional[_Node]] = [None] * level
+
+
+class MemTable:
+    """Sorted mutable map from ``bytes`` keys to values or tombstones.
+
+    ``value is None`` encodes a tombstone; the memtable itself does not
+    interpret tombstones, it just keeps the latest write per key.
+    """
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._head = _Node(None, None, _MAX_LEVEL)
+        self._level = 1
+        self._rng = random.Random(seed)
+        self._count = 0
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def approximate_bytes(self) -> int:
+        """Sum of key and value lengths currently held (tombstones count
+        their key only)."""
+        return self._bytes
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._rng.random() < _P:
+            level += 1
+        return level
+
+    def _find_predecessors(self, key: bytes) -> list[_Node]:
+        update: list[_Node] = [self._head] * _MAX_LEVEL
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            nxt = node.forward[lvl]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[lvl]
+            update[lvl] = node
+        return update
+
+    def put(self, key: bytes, value: Optional[bytes]) -> None:
+        """Insert or overwrite ``key``; ``None`` stores a tombstone."""
+        update = self._find_predecessors(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            old = candidate.value
+            self._bytes -= len(old) if old is not None else 0
+            self._bytes += len(value) if value is not None else 0
+            candidate.value = value
+            return
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        node = _Node(key, value, level)
+        for lvl in range(level):
+            node.forward[lvl] = update[lvl].forward[lvl]
+            update[lvl].forward[lvl] = node
+        self._count += 1
+        self._bytes += len(key) + (len(value) if value is not None else 0)
+
+    def get(self, key: bytes) -> tuple[bool, Optional[bytes]]:
+        """Return ``(found, value)``; a found tombstone is ``(True, None)``."""
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            nxt = node.forward[lvl]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[lvl]
+        node = node.forward[0]
+        if node is not None and node.key == key:
+            return True, node.value
+        return False, None
+
+    def seek(self, key: bytes) -> Iterator[tuple[bytes, Optional[bytes]]]:
+        """Yield entries with key >= ``key`` in ascending key order."""
+        update = self._find_predecessors(key)
+        node = update[0].forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def __iter__(self) -> Iterator[tuple[bytes, Optional[bytes]]]:
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]

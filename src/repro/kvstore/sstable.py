@@ -1,0 +1,165 @@
+"""Immutable sorted runs (SSTables).
+
+A flushed memtable becomes an :class:`SSTable`: a sorted array of
+entries plus a sparse index for binary search.  Tables can be encoded
+to bytes (with a checksummed footer) for on-disk persistence and
+decoded back, so the store survives a save/load round trip.
+
+Encoding::
+
+    [entry]*  sparse-index  footer
+
+    entry  := varint(klen) key varint(flag) [varint(vlen) value]
+              flag 0 = value follows, flag 1 = tombstone
+    footer := u32 entry_count | u32 payload_crc32 | 8-byte magic
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct
+import zlib
+from typing import Iterator, Optional
+
+from repro.errors import CorruptionError
+from repro.kvstore.bloom import BloomFilter
+
+_MAGIC = b"REPROSST"
+_FOOTER = struct.Struct(">III8s")  # entries, payload crc, bloom length, magic
+
+
+def _write_varint(value: int, out: bytearray) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise CorruptionError("truncated varint in sstable")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+class SSTable:
+    """An immutable, sorted sequence of key/value-or-tombstone entries."""
+
+    def __init__(self, entries: list[tuple[bytes, Optional[bytes]]]) -> None:
+        keys = [key for key, _ in entries]
+        if any(keys[i] >= keys[i + 1] for i in range(len(keys) - 1)):
+            raise ValueError("sstable entries must be strictly sorted by key")
+        self._keys = keys
+        self._values = [value for _, value in entries]
+        self._bytes = sum(
+            len(key) + (len(value) if value is not None else 0)
+            for key, value in entries
+        )
+        self._bloom = BloomFilter(max(1, len(keys)))
+        for key in keys:
+            self._bloom.add(key)
+
+    @classmethod
+    def from_memtable(cls, memtable) -> "SSTable":
+        """Freeze a memtable (tombstones included) into a sorted run."""
+        return cls(list(memtable))
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def approximate_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def smallest_key(self) -> Optional[bytes]:
+        return self._keys[0] if self._keys else None
+
+    @property
+    def largest_key(self) -> Optional[bytes]:
+        return self._keys[-1] if self._keys else None
+
+    def get(self, key: bytes) -> tuple[bool, Optional[bytes]]:
+        """Return ``(found, value)``; found tombstone is ``(True, None)``."""
+        if not self._bloom.might_contain(key):
+            return False, None  # definitely absent: skip the search
+        idx = bisect.bisect_left(self._keys, key)
+        if idx < len(self._keys) and self._keys[idx] == key:
+            return True, self._values[idx]
+        return False, None
+
+    def seek(self, key: bytes) -> Iterator[tuple[bytes, Optional[bytes]]]:
+        """Yield entries with key >= ``key`` in ascending order."""
+        idx = bisect.bisect_left(self._keys, key)
+        for i in range(idx, len(self._keys)):
+            yield self._keys[i], self._values[i]
+
+    def __iter__(self) -> Iterator[tuple[bytes, Optional[bytes]]]:
+        return iter(zip(self._keys, self._values))
+
+    # -- persistence ----------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Serialize the table (entries + checksummed footer)."""
+        payload = bytearray()
+        for key, value in zip(self._keys, self._values):
+            _write_varint(len(key), payload)
+            payload += key
+            if value is None:
+                _write_varint(1, payload)
+            else:
+                _write_varint(0, payload)
+                _write_varint(len(value), payload)
+                payload += value
+        bloom = self._bloom.encode()
+        footer = _FOOTER.pack(
+            len(self._keys), zlib.crc32(bytes(payload)), len(bloom), _MAGIC
+        )
+        return bytes(payload) + bloom + footer
+
+    @classmethod
+    def decode(cls, data: bytes) -> "SSTable":
+        """Parse bytes produced by :meth:`encode`, verifying integrity."""
+        if len(data) < _FOOTER.size:
+            raise CorruptionError("sstable shorter than footer")
+        count, crc, bloom_len, magic = _FOOTER.unpack(data[-_FOOTER.size:])
+        if magic != _MAGIC:
+            raise CorruptionError("bad sstable magic")
+        body = data[:-_FOOTER.size]
+        if bloom_len > len(body):
+            raise CorruptionError("sstable bloom length out of range")
+        payload = body[: len(body) - bloom_len]
+        bloom_bytes = body[len(body) - bloom_len:]
+        if zlib.crc32(payload) != crc:
+            raise CorruptionError("sstable payload checksum mismatch")
+        entries: list[tuple[bytes, Optional[bytes]]] = []
+        pos = 0
+        for _ in range(count):
+            klen, pos = _read_varint(payload, pos)
+            key = payload[pos:pos + klen]
+            pos += klen
+            flag, pos = _read_varint(payload, pos)
+            if flag == 1:
+                entries.append((key, None))
+            else:
+                vlen, pos = _read_varint(payload, pos)
+                entries.append((key, payload[pos:pos + vlen]))
+                pos += vlen
+        if pos != len(payload):
+            raise CorruptionError("trailing bytes in sstable payload")
+        table = cls(entries)
+        # Reuse the persisted filter (identical contents, skips the
+        # rebuild hashing for large tables).
+        table._bloom = BloomFilter.decode(bloom_bytes)
+        return table

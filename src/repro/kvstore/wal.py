@@ -1,0 +1,121 @@
+"""Write-ahead log for the key-value store.
+
+Each record is an atomic batch of operations; on recovery the log is
+replayed in order, and a torn final record (partial write during crash)
+is detected via its checksum and discarded, like RocksDB's WAL.
+
+Record format::
+
+    u32 length | u32 crc32(payload) | payload
+    payload := varint(op_count) ( varint(klen) key
+                                  varint(flag) [varint(vlen) value] )*
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zlib
+from pathlib import Path
+from typing import BinaryIO, Iterator, Optional
+
+from repro.errors import CorruptionError
+from repro.kvstore.sstable import _read_varint, _write_varint
+
+_HEADER = struct.Struct(">II")
+
+
+def _encode_batch(ops: list[tuple[bytes, Optional[bytes]]]) -> bytes:
+    payload = bytearray()
+    _write_varint(len(ops), payload)
+    for key, value in ops:
+        _write_varint(len(key), payload)
+        payload += key
+        if value is None:
+            _write_varint(1, payload)
+        else:
+            _write_varint(0, payload)
+            _write_varint(len(value), payload)
+            payload += value
+    return bytes(payload)
+
+
+def _decode_batch(payload: bytes) -> list[tuple[bytes, Optional[bytes]]]:
+    count, pos = _read_varint(payload, 0)
+    ops: list[tuple[bytes, Optional[bytes]]] = []
+    for _ in range(count):
+        klen, pos = _read_varint(payload, pos)
+        key = payload[pos:pos + klen]
+        pos += klen
+        flag, pos = _read_varint(payload, pos)
+        if flag == 1:
+            ops.append((key, None))
+        else:
+            vlen, pos = _read_varint(payload, pos)
+            ops.append((key, payload[pos:pos + vlen]))
+            pos += vlen
+    if pos != len(payload):
+        raise CorruptionError("trailing bytes in WAL record")
+    return ops
+
+
+class WriteAheadLog:
+    """Append-only durability log.
+
+    May be backed by a real file (``path``) or an in-memory buffer
+    (``path=None``), the latter used by tests exercising recovery logic
+    without touching the filesystem.
+    """
+
+    def __init__(self, path: Optional[Path] = None) -> None:
+        self._path = Path(path) if path is not None else None
+        if self._path is not None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._file: BinaryIO = open(self._path, "ab")
+        else:
+            self._file = io.BytesIO()
+
+    def append(self, ops: list[tuple[bytes, Optional[bytes]]]) -> None:
+        """Durably append one atomic batch."""
+        payload = _encode_batch(ops)
+        record = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        self._file.write(record)
+        self._file.flush()
+
+    def close(self) -> None:
+        if self._path is not None:
+            self._file.close()
+
+    def truncate(self) -> None:
+        """Discard all records (called after a successful flush)."""
+        if self._path is not None:
+            self._file.close()
+            self._file = open(self._path, "wb")
+        else:
+            self._file = io.BytesIO()
+
+    # -- recovery -------------------------------------------------------
+
+    def replay(self) -> Iterator[list[tuple[bytes, Optional[bytes]]]]:
+        """Yield batches in append order; stop at the first torn record."""
+        data = self._snapshot_bytes()
+        pos = 0
+        while pos < len(data):
+            if pos + _HEADER.size > len(data):
+                return  # torn header: crash mid-write
+            length, crc = _HEADER.unpack_from(data, pos)
+            start = pos + _HEADER.size
+            end = start + length
+            if end > len(data):
+                return  # torn payload
+            payload = data[start:end]
+            if zlib.crc32(payload) != crc:
+                return  # corrupted tail
+            yield _decode_batch(payload)
+            pos = end
+
+    def _snapshot_bytes(self) -> bytes:
+        if self._path is not None:
+            self._file.flush()
+            return self._path.read_bytes()
+        return self._file.getvalue()

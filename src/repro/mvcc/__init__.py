@@ -1,0 +1,29 @@
+"""Memgraph-style MVCC substrate.
+
+This package reproduces the concurrency-control machinery the paper
+builds on (section 4.1, following Neumann et al.'s delta-based MVCC):
+
+- objects are updated **in place**; every write additionally creates an
+  **undo delta** describing how to roll the change back;
+- deltas of one transaction live in that transaction's **undo buffer**
+  and are chained per object in "newest-to-oldest" order;
+- readers materialize the version visible to their snapshot by applying
+  undo deltas whose commit timestamp is after the snapshot;
+- a periodic **garbage collector** reclaims undo buffers of committed
+  transactions older than every active snapshot — AeonG hooks exactly
+  this point to migrate the expiring deltas into the history store.
+"""
+
+from repro.mvcc.delta import Delta, DeltaAction
+from repro.mvcc.manager import TransactionManager
+from repro.mvcc.timestamps import TimestampOracle
+from repro.mvcc.transaction import CommitStatus, Transaction
+
+__all__ = [
+    "Delta",
+    "DeltaAction",
+    "TransactionManager",
+    "TimestampOracle",
+    "Transaction",
+    "CommitStatus",
+]

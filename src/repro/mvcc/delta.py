@@ -1,0 +1,119 @@
+"""Undo deltas: the unit of versioning, and later of migration.
+
+Every in-place modification of a vertex or edge produces one
+:class:`Delta` describing how to *undo* it.  Applying the delta chain
+head-to-tail therefore walks the object backwards through time —
+exactly the "newest-to-oldest" version chain of the paper's data model.
+
+A delta also carries the transaction-time interval of the version it
+reconstructs: ``tt_start`` is copied from the object when the delta is
+created, ``tt_end`` is stamped with the creator transaction's commit
+timestamp at commit (section 4.1, "Assigning transaction-time").  The
+garbage collector hands exactly these fields to ``Migrate()``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.common.timeutil import MAX_TIMESTAMP
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.mvcc.transaction import CommitInfo
+
+
+class DeltaAction(enum.Enum):
+    """What undoing this delta does to the materialized object state."""
+
+    #: Restore a property to its previous value (``payload`` is
+    #: ``(name, old_value)``; ``old_value`` ``None`` removes it).
+    SET_PROPERTY = "set_property"
+    #: Re-add a label removed by the transaction.
+    ADD_LABEL = "add_label"
+    #: Remove a label added by the transaction.
+    REMOVE_LABEL = "remove_label"
+    #: Re-attach an out-edge that the transaction detached
+    #: (``payload`` is ``(edge_gid, edge_type, other_gid)``).
+    ADD_OUT_EDGE = "add_out_edge"
+    #: Re-attach an in-edge that the transaction detached.
+    ADD_IN_EDGE = "add_in_edge"
+    #: Detach an out-edge that the transaction attached.
+    REMOVE_OUT_EDGE = "remove_out_edge"
+    #: Detach an in-edge that the transaction attached.
+    REMOVE_IN_EDGE = "remove_in_edge"
+    #: Undo a delete: the older version exists.
+    RECREATE_OBJECT = "recreate_object"
+    #: Undo a create: the object did not exist before.
+    DELETE_OBJECT = "delete_object"
+
+#: Actions that change graph topology rather than object content; the
+#: paper stores these under the ``VE`` key prefix and timestamps them
+#: with the vertex's *structural* transaction-time field.
+STRUCTURAL_ACTIONS = frozenset(
+    {
+        DeltaAction.ADD_OUT_EDGE,
+        DeltaAction.ADD_IN_EDGE,
+        DeltaAction.REMOVE_OUT_EDGE,
+        DeltaAction.REMOVE_IN_EDGE,
+    }
+)
+
+
+class Delta:
+    """One undo record in an object's version chain.
+
+    Attributes
+    ----------
+    action, payload:
+        The undo operation (see :class:`DeltaAction`).
+    commit_info:
+        Shared with every delta of the creating transaction; resolves
+        to the commit timestamp once that transaction commits.
+    next:
+        The next-older delta of the same object (chain link).
+    tt_start / tt_end:
+        Transaction-time interval of the *version this delta
+        reconstructs*.  ``tt_end`` stays ``MAX_TIMESTAMP`` until the
+        creating transaction commits.
+    """
+
+    __slots__ = (
+        "action",
+        "payload",
+        "commit_info",
+        "next",
+        "tt_start",
+        "tt_end",
+        "object_kind",
+        "object_gid",
+    )
+
+    def __init__(
+        self,
+        action: DeltaAction,
+        payload: Any,
+        commit_info: "CommitInfo",
+        object_kind: str,
+        object_gid: int,
+        tt_start: int,
+    ) -> None:
+        self.action = action
+        self.payload = payload
+        self.commit_info = commit_info
+        self.next: Optional[Delta] = None
+        self.tt_start = tt_start
+        self.tt_end = MAX_TIMESTAMP
+        self.object_kind = object_kind  # "vertex" or "edge"
+        self.object_gid = object_gid
+
+    @property
+    def is_structural(self) -> bool:
+        """True when the delta records a topology change (``VE`` data)."""
+        return self.action in STRUCTURAL_ACTIONS
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Delta({self.action.value}, {self.object_kind}#{self.object_gid},"
+            f" tt=[{self.tt_start},{self.tt_end}))"
+        )

@@ -1,0 +1,39 @@
+"""Monotone logical-timestamp oracle.
+
+One oracle serves both transaction start timestamps and commit
+timestamps, so the total order over begins and commits is a single
+sequence — the property snapshot isolation's visibility rule depends
+on, and the property that makes AeonG's transaction-time assignment
+("TT is the actual commit timestamp") sound.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class TimestampOracle:
+    """Thread-safe source of strictly increasing logical timestamps."""
+
+    def __init__(self, start: int = 1) -> None:
+        if start < 1:
+            raise ValueError("timestamps must start at 1 or later")
+        self._next = start
+        self._lock = threading.Lock()
+
+    def next(self) -> int:
+        """Reserve and return the next timestamp."""
+        with self._lock:
+            ts = self._next
+            self._next += 1
+            return ts
+
+    def peek(self) -> int:
+        """The timestamp the next call to :meth:`next` would return."""
+        with self._lock:
+            return self._next
+
+    def advance_to(self, ts: int) -> None:
+        """Ensure future timestamps are at least ``ts`` (recovery aid)."""
+        with self._lock:
+            self._next = max(self._next, ts)

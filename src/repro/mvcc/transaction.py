@@ -1,0 +1,139 @@
+"""Transactions and their undo buffers.
+
+A transaction owns a single :class:`CommitInfo`, shared by reference
+with every delta it creates.  While the transaction is active the info
+holds its transaction id; at commit it atomically flips to the commit
+timestamp.  Readers therefore never see a half-committed state: either
+they observe ``ACTIVE`` (and treat the writer's changes as invisible)
+or ``COMMITTED`` with the final timestamp.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Optional
+
+from repro.errors import TransactionStateError
+from repro.mvcc.delta import Delta, DeltaAction
+
+
+class CommitStatus(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class CommitInfo:
+    """Shared commit state of one transaction (pointed to by its deltas)."""
+
+    __slots__ = ("status", "transaction_id", "commit_ts")
+
+    def __init__(self, transaction_id: int) -> None:
+        self.status = CommitStatus.ACTIVE
+        self.transaction_id = transaction_id
+        self.commit_ts: Optional[int] = None
+
+    def mark_committed(self, commit_ts: int) -> None:
+        self.status = CommitStatus.COMMITTED
+        self.commit_ts = commit_ts
+
+    def mark_aborted(self) -> None:
+        self.status = CommitStatus.ABORTED
+
+
+class Transaction:
+    """One unit of work under snapshot isolation.
+
+    The undo buffer records ``(record, delta)`` pairs in creation
+    order; *record* is the graph object the delta is chained on, which
+    abort uses to unlink and roll back, and commit uses to stamp
+    transaction time.
+    """
+
+    def __init__(self, transaction_id: int, start_ts: int) -> None:
+        self.id = transaction_id
+        self.start_ts = start_ts
+        self.commit_info = CommitInfo(transaction_id)
+        self.undo_buffer: list[tuple[Any, Delta]] = []
+        #: logical operations for the engine's write-ahead log (only
+        #: populated when the engine runs with durability enabled)
+        self.journal: list[tuple] = []
+        #: callbacks run after a successful commit (index maintenance)
+        self._commit_hooks: list[Callable[[int], None]] = []
+        #: callbacks run on abort (constraint-claim releases)
+        self._abort_hooks: list[Callable[[], None]] = []
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def status(self) -> CommitStatus:
+        return self.commit_info.status
+
+    @property
+    def is_active(self) -> bool:
+        return self.commit_info.status == CommitStatus.ACTIVE
+
+    @property
+    def commit_ts(self) -> Optional[int]:
+        return self.commit_info.commit_ts
+
+    def check_active(self) -> None:
+        if not self.is_active:
+            raise TransactionStateError(
+                f"transaction {self.id} is {self.status.value}"
+            )
+
+    # -- delta bookkeeping --------------------------------------------------
+
+    def record_delta(self, record: Any, delta: Delta) -> None:
+        """Register a freshly created delta in the undo buffer."""
+        self.check_active()
+        self.undo_buffer.append((record, delta))
+
+    def on_commit(self, hook: Callable[[int], None]) -> None:
+        """Run ``hook(commit_ts)`` after this transaction commits."""
+        self._commit_hooks.append(hook)
+
+    def run_commit_hooks(self, commit_ts: int) -> None:
+        for hook in self._commit_hooks:
+            hook(commit_ts)
+
+    def on_abort(self, hook: Callable[[], None]) -> None:
+        """Run ``hook()`` if this transaction aborts (reverse order)."""
+        self._abort_hooks.append(hook)
+
+    def run_abort_hooks(self) -> None:
+        for hook in reversed(self._abort_hooks):
+            hook()
+
+    def owns(self, delta: Delta) -> bool:
+        """Whether this transaction created the given delta."""
+        info = delta.commit_info
+        return (
+            info.status == CommitStatus.ACTIVE
+            and info.transaction_id == self.id
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Transaction(id={self.id}, start={self.start_ts},"
+            f" status={self.status.value}, deltas={len(self.undo_buffer)})"
+        )
+
+
+def delta_visible_at(delta: Delta, snapshot_ts: int, reader: Transaction) -> bool:
+    """Snapshot-isolation visibility of the *change* a delta undoes.
+
+    A delta's change is part of the reader's snapshot when the creating
+    transaction is the reader itself, or committed at or before the
+    snapshot timestamp.  Readers materialize older versions by applying
+    (undoing) every delta whose change is **not** visible.
+    """
+    info = delta.commit_info
+    if info.status == CommitStatus.COMMITTED:
+        assert info.commit_ts is not None
+        return info.commit_ts <= snapshot_ts
+    if info.status == CommitStatus.ACTIVE:
+        return info.transaction_id == reader.id
+    # Aborted writers' changes are never visible; their undo must apply.
+    return False

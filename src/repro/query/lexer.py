@@ -1,0 +1,219 @@
+"""Tokenizer for the query language.
+
+Hand-written scanner producing a flat token list.  Keywords are
+case-insensitive (as in Cypher); identifiers keep their case.  String
+literals accept single or double quotes with backslash escapes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import LexerError
+
+KEYWORDS = {
+    "MATCH",
+    "OPTIONAL",
+    "WHERE",
+    "RETURN",
+    "CREATE",
+    "SET",
+    "DELETE",
+    "DETACH",
+    "AS",
+    "ORDER",
+    "BY",
+    "ASC",
+    "DESC",
+    "SKIP",
+    "LIMIT",
+    "DISTINCT",
+    "AND",
+    "OR",
+    "NOT",
+    "IN",
+    "IS",
+    "NULL",
+    "TRUE",
+    "FALSE",
+    "TT",
+    "VT",
+    "SNAPSHOT",
+    "BETWEEN",
+    "PERIOD",
+    "CONTAINS",
+    "OVERLAPS",
+    "BEFORE",
+    "AFTER",
+    "MEETS",
+    "MET_BY",
+    "OVERLAPPED_BY",
+    "STARTS",
+    "STARTED_BY",
+    "DURING",
+    "FINISHES",
+    "FINISHED_BY",
+    "EQUALS",
+    "VALID",
+    "FOR",
+    "WITH",
+    "UNWIND",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    PARAMETER = "parameter"
+    PUNCT = "punct"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: Any
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type == TokenType.KEYWORD and self.value == word
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.type.value}, {self.value!r}@{self.position})"
+
+
+_PUNCT_DOUBLE = ("<>", "<=", ">=", "->", "<-", "!=")
+_PUNCT_SINGLE = "()[]{},.:=<>+-*/%|$"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Scan ``text`` into tokens (terminated by an END token)."""
+    tokens: list[Token] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        char = text[pos]
+        if char.isspace():
+            pos += 1
+            continue
+        if char == "/" and text[pos:pos + 2] == "//":
+            newline = text.find("\n", pos)
+            pos = length if newline < 0 else newline + 1
+            continue
+        if char.isdigit():
+            pos = _scan_number(text, pos, tokens)
+            continue
+        if char in "'\"":
+            pos = _scan_string(text, pos, tokens)
+            continue
+        if char == "$":
+            pos = _scan_parameter(text, pos, tokens)
+            continue
+        if char.isalpha() or char == "_":
+            pos = _scan_word(text, pos, tokens)
+            continue
+        if char == "`":
+            pos = _scan_backtick(text, pos, tokens)
+            continue
+        double = text[pos:pos + 2]
+        if double in _PUNCT_DOUBLE:
+            value = "<>" if double == "!=" else double
+            tokens.append(Token(TokenType.PUNCT, value, pos))
+            pos += 2
+            continue
+        if char in _PUNCT_SINGLE:
+            tokens.append(Token(TokenType.PUNCT, char, pos))
+            pos += 1
+            continue
+        raise LexerError(f"unexpected character {char!r}", pos)
+    tokens.append(Token(TokenType.END, None, length))
+    return tokens
+
+
+def _scan_number(text: str, pos: int, tokens: list[Token]) -> int:
+    start = pos
+    while pos < len(text) and text[pos].isdigit():
+        pos += 1
+    is_float = False
+    if pos < len(text) and text[pos] == "." and pos + 1 < len(text) and text[pos + 1].isdigit():
+        is_float = True
+        pos += 1
+        while pos < len(text) and text[pos].isdigit():
+            pos += 1
+    if pos < len(text) and text[pos] in "eE":
+        peek = pos + 1
+        if peek < len(text) and text[peek] in "+-":
+            peek += 1
+        if peek < len(text) and text[peek].isdigit():
+            is_float = True
+            pos = peek
+            while pos < len(text) and text[pos].isdigit():
+                pos += 1
+    raw = text[start:pos]
+    if is_float:
+        tokens.append(Token(TokenType.FLOAT, float(raw), start))
+    else:
+        tokens.append(Token(TokenType.INTEGER, int(raw), start))
+    return pos
+
+
+def _scan_string(text: str, pos: int, tokens: list[Token]) -> int:
+    quote = text[pos]
+    start = pos
+    pos += 1
+    chars: list[str] = []
+    while pos < len(text):
+        char = text[pos]
+        if char == "\\":
+            if pos + 1 >= len(text):
+                raise LexerError("dangling escape in string", pos)
+            escape = text[pos + 1]
+            mapping = {"n": "\n", "t": "\t", "\\": "\\", quote: quote}
+            chars.append(mapping.get(escape, escape))
+            pos += 2
+            continue
+        if char == quote:
+            tokens.append(Token(TokenType.STRING, "".join(chars), start))
+            return pos + 1
+        chars.append(char)
+        pos += 1
+    raise LexerError("unterminated string literal", start)
+
+
+def _scan_parameter(text: str, pos: int, tokens: list[Token]) -> int:
+    start = pos
+    pos += 1
+    name_start = pos
+    while pos < len(text) and (text[pos].isalnum() or text[pos] == "_"):
+        pos += 1
+    if pos == name_start:
+        raise LexerError("empty parameter name after '$'", start)
+    tokens.append(Token(TokenType.PARAMETER, text[name_start:pos], start))
+    return pos
+
+
+def _scan_word(text: str, pos: int, tokens: list[Token]) -> int:
+    start = pos
+    while pos < len(text) and (text[pos].isalnum() or text[pos] == "_"):
+        pos += 1
+    word = text[start:pos]
+    upper = word.upper()
+    if upper in KEYWORDS:
+        tokens.append(Token(TokenType.KEYWORD, upper, start))
+    else:
+        tokens.append(Token(TokenType.IDENT, word, start))
+    return pos
+
+
+def _scan_backtick(text: str, pos: int, tokens: list[Token]) -> int:
+    start = pos
+    end = text.find("`", pos + 1)
+    if end < 0:
+        raise LexerError("unterminated backtick identifier", start)
+    tokens.append(Token(TokenType.IDENT, text[pos + 1:end], start))
+    return end + 1

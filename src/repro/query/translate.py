@@ -1,0 +1,105 @@
+"""Valid-time predicate translation (paper section 6, "Parser").
+
+AeonG "translates valid-time operators into equivalent non-temporal
+operators" inside the parser visitor; transaction-time operators pass
+through to the temporal execution engine.  This module is that
+translator: every :class:`~repro.query.ast.VTPredicate` is rewritten
+into comparisons over the reserved valid-time properties, so the rest
+of the pipeline never sees valid time as anything special.
+
+The interval endpoints are accessed through the builtin functions
+``vt_start(x)`` / ``vt_end(x)`` (the latter defaults to ∞ when the
+object has an open valid time), and a point argument ``p`` is treated
+as the unit period ``[p, p+1)`` — exact under integer timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import PlanningError
+from repro.query import ast
+
+
+def translate_query(query: ast.Query) -> ast.Query:
+    """Rewrite every VT predicate in every WHERE (stage and WITH)."""
+    new_stages = []
+    changed = False
+    for stage in query.stages:
+        new_stage = stage
+        if stage.where is not None:
+            rewritten = _rewrite(stage.where.predicate)
+            if rewritten is not stage.where.predicate:
+                new_stage = replace(new_stage, where=ast.WhereClause(rewritten))
+        if stage.with_clause is not None and stage.with_clause.where is not None:
+            rewritten = _rewrite(stage.with_clause.where)
+            if rewritten is not stage.with_clause.where:
+                new_stage = replace(
+                    new_stage,
+                    with_clause=replace(stage.with_clause, where=rewritten),
+                )
+        if new_stage is not stage:
+            changed = True
+        new_stages.append(new_stage)
+    if not changed:
+        return query
+    return replace(query, stages=tuple(new_stages))
+
+
+def _rewrite(expr: ast.Expression) -> ast.Expression:
+    if isinstance(expr, ast.VTPredicate):
+        return translate_vt_predicate(expr)
+    if isinstance(expr, ast.BooleanOp):
+        left = _rewrite(expr.left)
+        right = _rewrite(expr.right)
+        if left is expr.left and right is expr.right:
+            return expr
+        return ast.BooleanOp(expr.op, left, right)
+    if isinstance(expr, ast.Not):
+        operand = _rewrite(expr.operand)
+        return expr if operand is expr.operand else ast.Not(operand)
+    return expr
+
+
+def translate_vt_predicate(pred: ast.VTPredicate) -> ast.Expression:
+    """Rewrite one ``x.VT <OP> <arg>`` into property comparisons."""
+    start = ast.FunctionCall("vt_start", (ast.Variable(pred.variable),))
+    end = ast.FunctionCall("vt_end", (ast.Variable(pred.variable),))
+    if isinstance(pred.argument, ast.PeriodLiteral):
+        a, b = pred.argument.start, pred.argument.end
+    else:
+        a = pred.argument
+        b = ast.Arithmetic("+", pred.argument, ast.Literal(1))
+    return _allen_to_comparisons(pred.op, start, end, a, b)
+
+
+def _allen_to_comparisons(op, start, end, a, b) -> ast.Expression:
+    cmp = ast.Comparison
+    both = lambda x, y: ast.BooleanOp("AND", x, y)  # noqa: E731
+    if op == "CONTAINS":  # SQL:2011 lax containment
+        return both(cmp("<=", start, a), cmp("<=", b, end))
+    if op == "OVERLAPS":  # SQL:2011 lax overlap (shares an instant)
+        return both(cmp("<", start, b), cmp("<", a, end))
+    if op == "BEFORE":
+        return cmp("<", end, a)
+    if op == "AFTER":
+        return cmp(">", start, b)
+    if op == "MEETS":
+        return cmp("=", end, a)
+    if op == "MET_BY":
+        return cmp("=", start, b)
+    if op == "STARTS":
+        return both(cmp("=", start, a), cmp("<", end, b))
+    if op == "STARTED_BY":
+        return both(cmp("=", start, a), cmp(">", end, b))
+    if op == "DURING":
+        return both(cmp(">", start, a), cmp("<", end, b))
+    if op == "FINISHES":
+        return both(cmp("=", end, b), cmp(">", start, a))
+    if op == "FINISHED_BY":
+        return both(cmp("=", end, b), cmp("<", start, a))
+    if op == "EQUALS":
+        return both(cmp("=", start, a), cmp("=", end, b))
+    if op == "OVERLAPPED_BY":  # mirror of lax OVERLAPS
+        return both(cmp("<", a, end), cmp("<", start, b))
+    raise PlanningError(f"unknown Allen operator {op!r}")

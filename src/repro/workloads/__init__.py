@@ -1,0 +1,22 @@
+"""Workload generators and query mixes used by the evaluation.
+
+Four datasets mirror the paper's Table 1 at configurable scale:
+
+- :mod:`repro.workloads.ldbc` — an LDBC SNB-like social network
+  (persons, forums, posts, comments, tags, places and their edges);
+- :mod:`repro.workloads.bildbc` — Bi-LDBC: timestamped graph-operation
+  streams over the LDBC graph (updates + inserts + deletes);
+- :mod:`repro.workloads.tpcds` — a TPC-DS-like retail graph whose
+  customer attributes evolve heavily (the anchor-interval sweep);
+- :mod:`repro.workloads.ecommerce` — a RetailRocket-like event stream
+  over five months (views / add-to-cart / transactions).
+
+:mod:`repro.workloads.queries` implements the five LDBC interactive
+short reads the paper evaluates (IS1, IS3, IS4, IS5, IS7) on top of
+the backend protocol, and :mod:`repro.workloads.driver` loads datasets
+into backends and measures queries.
+"""
+
+from repro.workloads.driver import WorkloadDriver
+
+__all__ = ["WorkloadDriver"]

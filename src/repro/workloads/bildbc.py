@@ -1,0 +1,212 @@
+"""Bi-LDBC: timestamped graph-operation streams over the LDBC graph.
+
+The paper extends SF1 LDBC "with a series of timestamped graph
+operations that simulate real-life temporal social networks", varying
+the stream size over {1M, 2M, 3M, 4M}.  The mix below mirrors that
+description — property updates of existing entities and relationships
+dominate, with a share of inserts (new persons / posts / comments /
+likes) and a small share of deletes.
+
+The stream continues the dataset's logical clock, so query instants
+drawn "uniformly within the time span" cover load + update history.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.baselines.interface import (
+    ADD_EDGE,
+    ADD_VERTEX,
+    DELETE_EDGE,
+    GraphOp,
+    UPDATE_EDGE,
+    UPDATE_VERTEX,
+)
+from repro.workloads.ldbc import LdbcDataset, _BROWSERS, _LANGUAGES
+
+#: Operation-mix shares (sum to 1): the stream is update-heavy like a
+#: living social network.
+UPDATE_VERTEX_SHARE = 0.55
+UPDATE_EDGE_SHARE = 0.10
+INSERT_SHARE = 0.30
+DELETE_SHARE = 0.05
+
+
+@dataclass
+class BiLdbcStream:
+    """The generated operation stream plus id bookkeeping."""
+
+    ops: list[GraphOp] = field(default_factory=list)
+    first_ts: int = 0
+    last_ts: int = 0
+    new_person_ids: list[str] = field(default_factory=list)
+
+
+def generate_operations(
+    dataset: LdbcDataset, count: int, seed: int = 7
+) -> BiLdbcStream:
+    """Produce ``count`` timestamped operations over ``dataset``."""
+    rng = random.Random(seed)
+    stream = BiLdbcStream(first_ts=dataset.last_ts + 1)
+    ts = dataset.last_ts
+
+    persons = list(dataset.person_ids)
+    posts = list(dataset.post_ids)
+    comments = list(dataset.comment_ids)
+    # Updatable relationship pool: KNOWS/LIKES edges carry properties.
+    knows_edges = [
+        op.ext_id
+        for op in dataset.ops
+        if op.kind == ADD_EDGE and op.label in ("KNOWS", "LIKES")
+    ]
+    deletable_edges = list(knows_edges)
+    next_person = len(persons)
+    next_post = len(posts)
+    next_comment = len(comments)
+    next_edge = len(dataset.edge_ids) + count  # avoid collisions
+
+    for _ in range(count):
+        ts += 1
+        roll = rng.random()
+        if roll < UPDATE_VERTEX_SHARE:
+            stream.ops.append(_update_vertex(rng, ts, persons, posts, comments))
+        elif roll < UPDATE_VERTEX_SHARE + UPDATE_EDGE_SHARE and knows_edges:
+            edge = rng.choice(knows_edges)
+            stream.ops.append(
+                GraphOp(
+                    UPDATE_EDGE,
+                    ts,
+                    edge,
+                    prop="weight",
+                    value=rng.randrange(1, 100),
+                )
+            )
+        elif roll < UPDATE_VERTEX_SHARE + UPDATE_EDGE_SHARE + INSERT_SHARE:
+            kind = rng.random()
+            if kind < 0.2:
+                ext_id = f"person:{next_person}"
+                next_person += 1
+                persons.append(ext_id)
+                stream.new_person_ids.append(ext_id)
+                stream.ops.append(
+                    GraphOp(
+                        ADD_VERTEX,
+                        ts,
+                        ext_id,
+                        label="Person",
+                        properties={
+                            "firstName": "New",
+                            "lastName": f"Arrival{next_person}",
+                            "gender": rng.choice(["male", "female"]),
+                            "birthday": 19800101,
+                            "browserUsed": rng.choice(_BROWSERS),
+                            "locationIP": "10.0.0.1",
+                            "creationDate": ts,
+                        },
+                    )
+                )
+            elif kind < 0.5:
+                ext_id = f"post:{next_post}"
+                next_post += 1
+                posts.append(ext_id)
+                content = "fresh post " + "z" * rng.randrange(10, 60)
+                stream.ops.append(
+                    GraphOp(
+                        ADD_VERTEX,
+                        ts,
+                        ext_id,
+                        label="Post",
+                        properties={
+                            "content": content,
+                            "length": len(content),
+                            "language": rng.choice(_LANGUAGES),
+                            "browserUsed": rng.choice(_BROWSERS),
+                            "creationDate": ts,
+                        },
+                    )
+                )
+            elif kind < 0.8:
+                ext_id = f"comment:{next_comment}"
+                next_comment += 1
+                comments.append(ext_id)
+                content = "fresh comment " + "w" * rng.randrange(5, 40)
+                stream.ops.append(
+                    GraphOp(
+                        ADD_VERTEX,
+                        ts,
+                        ext_id,
+                        label="Comment",
+                        properties={
+                            "content": content,
+                            "length": len(content),
+                            "browserUsed": rng.choice(_BROWSERS),
+                            "creationDate": ts,
+                        },
+                    )
+                )
+            else:
+                ext_id = f"e{next_edge}"
+                next_edge += 1
+                edge_type = rng.choice(["KNOWS", "LIKES"])
+                src = rng.choice(persons)
+                dst = (
+                    rng.choice(persons)
+                    if edge_type == "KNOWS"
+                    else rng.choice(posts + comments)
+                )
+                if src == dst:
+                    dst = persons[0] if src != persons[0] else persons[1]
+                knows_edges.append(ext_id)
+                deletable_edges.append(ext_id)
+                stream.ops.append(
+                    GraphOp(
+                        ADD_EDGE,
+                        ts,
+                        ext_id,
+                        label=edge_type,
+                        src=src,
+                        dst=dst,
+                        properties={"creationDate": ts},
+                    )
+                )
+        elif deletable_edges:
+            index = rng.randrange(len(deletable_edges))
+            ext_id = deletable_edges.pop(index)
+            if ext_id in knows_edges:
+                knows_edges.remove(ext_id)
+            stream.ops.append(GraphOp(DELETE_EDGE, ts, ext_id))
+        else:
+            stream.ops.append(_update_vertex(rng, ts, persons, posts, comments))
+    stream.last_ts = ts
+    return stream
+
+
+def _update_vertex(rng, ts: int, persons, posts, comments) -> GraphOp:
+    roll = rng.random()
+    if roll < 0.5:
+        return GraphOp(
+            UPDATE_VERTEX,
+            ts,
+            rng.choice(persons),
+            prop=rng.choice(["browserUsed", "locationIP"]),
+            value=rng.choice(_BROWSERS)
+            if rng.random() < 0.5
+            else f"10.{rng.randrange(256)}.0.{rng.randrange(256)}",
+        )
+    if roll < 0.8:
+        return GraphOp(
+            UPDATE_VERTEX,
+            ts,
+            rng.choice(posts),
+            prop="length",
+            value=rng.randrange(10, 200),
+        )
+    return GraphOp(
+        UPDATE_VERTEX,
+        ts,
+        rng.choice(comments),
+        prop="length",
+        value=rng.randrange(5, 120),
+    )

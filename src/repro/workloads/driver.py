@@ -1,0 +1,155 @@
+"""Loads workloads into backends and measures temporal queries.
+
+The driver is the glue every benchmark uses: apply an operation stream
+to any :class:`~repro.baselines.interface.TemporalBackend`, pick query
+instants "uniformly chosen within the time span of the datasets" (the
+paper's methodology, avoiding bias toward instants near snapshots),
+run IS/Q1/Q2 queries, and collect latency + storage numbers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.baselines.interface import GraphOp, TemporalBackend
+from repro.core.stats import LatencyRecorder
+from repro.workloads import queries as q
+
+
+@dataclass
+class MeasuredRun:
+    """Latencies and result sizes of one query batch."""
+
+    query: str
+    backend: str
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    result_rows: int = 0
+
+    @property
+    def mean_us(self) -> float:
+        return self.latency.mean_us
+
+
+class WorkloadDriver:
+    """Applies streams and runs measured query batches."""
+
+    def __init__(self, backend: TemporalBackend, seed: int = 1234) -> None:
+        self.backend = backend
+        self.rng = random.Random(seed)
+        self.ops_applied = 0
+        self.first_event_ts: Optional[int] = None
+        self.last_event_ts = 0
+
+    # -- loading -----------------------------------------------------------
+
+    def apply(self, ops: Sequence[GraphOp]) -> int:
+        """Apply an operation stream, tracking the event-time span."""
+        for op in ops:
+            self.backend.apply(op)
+            if self.first_event_ts is None:
+                self.first_event_ts = op.ts
+            self.last_event_ts = max(self.last_event_ts, op.ts)
+            self.ops_applied += 1
+        return self.ops_applied
+
+    def finish_load(self) -> None:
+        """Flush deferred work (GC/migration, pending snapshots)."""
+        self.backend.flush()
+
+    # -- query-time selection ------------------------------------------------
+
+    def uniform_instant(self) -> int:
+        """An event-time instant uniform over the loaded span."""
+        low = self.first_event_ts if self.first_event_ts is not None else 0
+        return self.rng.randint(low, max(low, self.last_event_ts))
+
+    def uniform_slice(self, width_fraction: float = 0.1) -> tuple[int, int]:
+        """A random slice covering ``width_fraction`` of the span."""
+        low = self.first_event_ts if self.first_event_ts is not None else 0
+        span = max(1, self.last_event_ts - low)
+        width = max(1, int(span * width_fraction))
+        start = self.rng.randint(low, max(low, self.last_event_ts - width))
+        return start, start + width
+
+    # -- measured batches ------------------------------------------------------
+
+    def run_is_queries(
+        self,
+        name: str,
+        targets: Sequence[str],
+        repetitions: int,
+        time_slice: bool = False,
+        slice_width: float = 0.1,
+    ) -> MeasuredRun:
+        """Run one IS query ``repetitions`` times at random instants."""
+        run = MeasuredRun(query=name, backend=self.backend.name)
+        for _ in range(repetitions):
+            target = self.rng.choice(targets)
+            if time_slice:
+                e1, e2 = self.uniform_slice(slice_width)
+                t1 = self.backend.to_query_time(e1)
+                t2 = self.backend.to_query_time(e2)
+                if t2 < t1:
+                    t1, t2 = t2, t1
+                with run.latency.measure():
+                    result = q.run_query(name, self.backend, target, t1, t2)
+            else:
+                t = self.backend.to_query_time(self.uniform_instant())
+                with run.latency.measure():
+                    result = q.run_query(name, self.backend, target, t)
+            run.result_rows += len(result)
+        return run
+
+    def run_vertex_lookups(
+        self,
+        targets: Sequence[str],
+        repetitions: int,
+        time_slice: bool = False,
+        slice_width: float = 0.1,
+    ) -> MeasuredRun:
+        """The E-commerce Q1: retrieve a vertex by key at/over a time."""
+        run = MeasuredRun(query="Q1", backend=self.backend.name)
+        for _ in range(repetitions):
+            target = self.rng.choice(targets)
+            if time_slice:
+                e1, e2 = self.uniform_slice(slice_width)
+                t1 = self.backend.to_query_time(e1)
+                t2 = self.backend.to_query_time(e2)
+                with run.latency.measure():
+                    states = self.backend.vertex_between(target, t1, t2)
+                run.result_rows += len(states)
+            else:
+                t = self.backend.to_query_time(self.uniform_instant())
+                with run.latency.measure():
+                    state = self.backend.vertex_at(target, t)
+                run.result_rows += 1 if state is not None else 0
+        return run
+
+    def run_pattern_lookups(
+        self,
+        targets: Sequence[str],
+        repetitions: int,
+        time_slice: bool = False,
+        slice_width: float = 0.1,
+        direction: str = "out",
+    ) -> MeasuredRun:
+        """The E-commerce Q2: neighbours of a vertex at/over a time."""
+        run = MeasuredRun(query="Q2", backend=self.backend.name)
+        for _ in range(repetitions):
+            target = self.rng.choice(targets)
+            if time_slice:
+                e1, e2 = self.uniform_slice(slice_width)
+                t1 = self.backend.to_query_time(e1)
+                t2 = self.backend.to_query_time(e2)
+                with run.latency.measure():
+                    hits = self.backend.neighbors_between(
+                        target, t1, t2, direction
+                    )
+            else:
+                t = self.backend.to_query_time(self.uniform_instant())
+                with run.latency.measure():
+                    hits = self.backend.neighbors_at(target, t, direction)
+            run.result_rows += len(hits)
+        return run

@@ -1,0 +1,254 @@
+"""An LDBC Social Network Benchmark-like dataset generator.
+
+Reproduces the SNB interactive schema at configurable scale: Person,
+Place, Tag, Forum, Post and Comment vertices with the edge types the
+IS queries traverse (KNOWS, IS_LOCATED_IN, HAS_CREATOR, REPLY_OF,
+LIKES, HAS_MODERATOR, CONTAINER_OF, HAS_TAG, HAS_INTEREST).  The paper
+uses the official generator at scale factor 1 (3.18M vertices); this
+generator keeps the same shape — power-law-ish friendship degrees,
+message trees rooted at posts, forum containment — at laptop scale,
+controlled by ``persons``.
+
+Everything is deterministic under ``seed``: ids, degrees, and the
+event timeline (one logical tick per created object, so creation
+timestamps are totally ordered like the official dataset's).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.baselines.interface import (
+    ADD_EDGE,
+    ADD_VERTEX,
+    GraphOp,
+)
+
+_FIRST_NAMES = [
+    "Jack", "Jill", "Wei", "Chen", "Amara", "Ines", "Yusuf", "Maria",
+    "Ivan", "Sofia", "Ken", "Aiko", "Omar", "Lena", "Raj", "Priya",
+]
+_LAST_NAMES = [
+    "Smith", "Garcia", "Mueller", "Tanaka", "Kumar", "Okafor", "Rossi",
+    "Novak", "Silva", "Petrov", "Yamamoto", "Johansson",
+]
+_BROWSERS = ["Firefox", "Chrome", "Safari", "Opera", "Edge"]
+_LANGUAGES = ["en", "zh", "es", "de", "ja", "pt"]
+_CITIES = [
+    "Beijing", "Mumbai", "Lagos", "Berlin", "Toronto", "Lima", "Osaka",
+    "Nairobi", "Prague", "Bogota", "Hanoi", "Dublin", "Tunis", "Quito",
+]
+_TAG_STEMS = [
+    "music", "sports", "politics", "films", "travel", "cooking",
+    "science", "history", "art", "games",
+]
+
+
+@dataclass
+class LdbcDataset:
+    """The generated graph plus bookkeeping the op streams need."""
+
+    ops: list[GraphOp] = field(default_factory=list)
+    person_ids: list[str] = field(default_factory=list)
+    post_ids: list[str] = field(default_factory=list)
+    comment_ids: list[str] = field(default_factory=list)
+    forum_ids: list[str] = field(default_factory=list)
+    edge_ids: list[str] = field(default_factory=list)
+    last_ts: int = 0
+
+    @property
+    def message_ids(self) -> list[str]:
+        return self.post_ids + self.comment_ids
+
+    @property
+    def vertex_count(self) -> int:
+        return sum(1 for op in self.ops if op.kind == ADD_VERTEX)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(1 for op in self.ops if op.kind == ADD_EDGE)
+
+
+def generate(persons: int = 100, seed: int = 42) -> LdbcDataset:
+    """Generate an SNB-like graph with ``persons`` Person vertices.
+
+    Derived sizes follow SF1's rough proportions: ~3 posts and ~5
+    comments per person, one forum per three persons, a fixed pool of
+    places and tags.
+    """
+    if persons < 2:
+        raise ValueError("need at least 2 persons")
+    rng = random.Random(seed)
+    data = LdbcDataset()
+    clock = _Clock()
+
+    cities = [f"place:{i}" for i in range(len(_CITIES))]
+    for ext_id, name in zip(cities, _CITIES):
+        _vertex(data, clock, ext_id, "Place", {"name": name, "type": "city"})
+
+    tags = [f"tag:{i}" for i in range(40)]
+    for index, ext_id in enumerate(tags):
+        stem = _TAG_STEMS[index % len(_TAG_STEMS)]
+        _vertex(data, clock, ext_id, "Tag", {"name": f"{stem}-{index}"})
+
+    person_ids = [f"person:{i}" for i in range(persons)]
+    for index, ext_id in enumerate(person_ids):
+        _vertex(
+            data,
+            clock,
+            ext_id,
+            "Person",
+            {
+                "firstName": rng.choice(_FIRST_NAMES),
+                "lastName": rng.choice(_LAST_NAMES),
+                "gender": rng.choice(["male", "female"]),
+                "birthday": 19600101 + rng.randrange(40) * 10000,
+                "browserUsed": rng.choice(_BROWSERS),
+                "locationIP": f"10.{rng.randrange(256)}.{rng.randrange(256)}.{rng.randrange(256)}",
+                "creationDate": clock.now,
+            },
+        )
+        _edge(data, clock, "IS_LOCATED_IN", ext_id, rng.choice(cities))
+        for tag in rng.sample(tags, k=rng.randrange(1, 4)):
+            _edge(data, clock, "HAS_INTEREST", ext_id, tag)
+    data.person_ids = person_ids
+
+    # Friendship: preferential attachment for a power-law-ish degree.
+    targets: list[str] = list(person_ids[:2])
+    known: set[tuple[str, str]] = set()
+    for index in range(2, persons):
+        source = person_ids[index]
+        degree = min(index, 1 + int(rng.paretovariate(1.6)))
+        for _ in range(degree):
+            other = rng.choice(targets)
+            pair = tuple(sorted((source, other)))
+            if other == source or pair in known:
+                continue
+            known.add(pair)
+            _edge(
+                data,
+                clock,
+                "KNOWS",
+                source,
+                other,
+                {"creationDate": clock.now},
+            )
+            targets.append(other)
+        targets.append(source)
+
+    forums = [f"forum:{i}" for i in range(max(1, persons // 3))]
+    for index, ext_id in enumerate(forums):
+        moderator = rng.choice(person_ids)
+        _vertex(
+            data,
+            clock,
+            ext_id,
+            "Forum",
+            {"title": f"Forum {index}", "creationDate": clock.now},
+        )
+        _edge(data, clock, "HAS_MODERATOR", ext_id, moderator)
+    data.forum_ids = forums
+
+    post_ids = [f"post:{i}" for i in range(persons * 3)]
+    for index, ext_id in enumerate(post_ids):
+        author = rng.choice(person_ids)
+        content = f"post content {index} " + "x" * rng.randrange(10, 80)
+        _vertex(
+            data,
+            clock,
+            ext_id,
+            "Post",
+            {
+                "content": content,
+                "length": len(content),
+                "language": rng.choice(_LANGUAGES),
+                "browserUsed": rng.choice(_BROWSERS),
+                "creationDate": clock.now,
+            },
+        )
+        _edge(data, clock, "HAS_CREATOR", ext_id, author)
+        _edge(data, clock, "CONTAINER_OF", rng.choice(forums), ext_id)
+        for tag in rng.sample(tags, k=rng.randrange(0, 3)):
+            _edge(data, clock, "HAS_TAG", ext_id, tag)
+    data.post_ids = post_ids
+
+    comment_ids = [f"comment:{i}" for i in range(persons * 5)]
+    for index, ext_id in enumerate(comment_ids):
+        author = rng.choice(person_ids)
+        # Replies attach to a post or an *earlier* comment (a tree).
+        if index == 0 or rng.random() < 0.6:
+            parent = rng.choice(post_ids)
+        else:
+            parent = comment_ids[rng.randrange(index)]
+        content = f"comment {index} " + "y" * rng.randrange(5, 50)
+        _vertex(
+            data,
+            clock,
+            ext_id,
+            "Comment",
+            {
+                "content": content,
+                "length": len(content),
+                "browserUsed": rng.choice(_BROWSERS),
+                "creationDate": clock.now,
+            },
+        )
+        _edge(data, clock, "HAS_CREATOR", ext_id, author)
+        _edge(data, clock, "REPLY_OF", ext_id, parent)
+    data.comment_ids = comment_ids
+
+    for _ in range(persons * 2):  # likes
+        person = rng.choice(person_ids)
+        message = rng.choice(post_ids + comment_ids)
+        _edge(
+            data,
+            clock,
+            "LIKES",
+            person,
+            message,
+            {"creationDate": clock.now},
+        )
+
+    data.last_ts = clock.now
+    return data
+
+
+class _Clock:
+    """One logical tick per generated object."""
+
+    def __init__(self) -> None:
+        self.now = 0
+
+    def tick(self) -> int:
+        self.now += 1
+        return self.now
+
+
+def _vertex(data: LdbcDataset, clock: _Clock, ext_id: str, label: str, props: dict) -> None:
+    data.ops.append(
+        GraphOp(ADD_VERTEX, clock.tick(), ext_id, label=label, properties=props)
+    )
+
+
+def _edge(
+    data: LdbcDataset,
+    clock: _Clock,
+    edge_type: str,
+    src: str,
+    dst: str,
+    props: dict | None = None,
+) -> None:
+    ext_id = f"e{len(data.edge_ids)}"
+    data.edge_ids.append(ext_id)
+    data.ops.append(
+        GraphOp(
+            ADD_EDGE,
+            clock.tick(),
+            ext_id,
+            label=edge_type,
+            src=src,
+            dst=dst,
+            properties=props or {},
+        )
+    )

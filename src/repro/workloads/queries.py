@@ -1,0 +1,176 @@
+"""The LDBC interactive short reads the paper evaluates.
+
+IS1, IS3, IS4, IS5 and IS7, implemented against the backend protocol
+so the same query code runs on AeonG, T-GQL and Clock-G (IS2 and IS6
+are excluded for the same reason as in the paper).  Each query comes
+in a time-point (``TT SNAPSHOT``) and a time-slice (``TT BETWEEN``)
+variant; the non-temporal shape matches the official definitions:
+
+- **IS1** — a person's profile (plus their city);
+- **IS3** — a person's friends with the friendship's creationDate;
+- **IS4** — a message's content and creationDate;
+- **IS5** — a message's creator;
+- **IS7** — the replies to a message, each with its author.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.baselines.interface import TemporalBackend
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Uniform result wrapper: rows of plain dicts."""
+
+    rows: tuple[dict, ...]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def is1_profile(
+    backend: TemporalBackend, person: str, t: int, t2: Optional[int] = None
+) -> QueryResult:
+    """IS1: person profile (+ city name via IS_LOCATED_IN)."""
+    if t2 is None:
+        states = [backend.vertex_at(person, t)]
+        cities = backend.neighbors_at(person, t, "out", "IS_LOCATED_IN")
+    else:
+        states = backend.vertex_between(person, t, t2)
+        cities = backend.neighbors_between(person, t, t2, "out", "IS_LOCATED_IN")
+    city = cities[0].neighbor_properties.get("name") if cities else None
+    rows = tuple(
+        {
+            "firstName": state.get("firstName"),
+            "lastName": state.get("lastName"),
+            "birthday": state.get("birthday"),
+            "locationIP": state.get("locationIP"),
+            "browserUsed": state.get("browserUsed"),
+            "gender": state.get("gender"),
+            "city": city,
+        }
+        for state in states
+        if state is not None
+    )
+    return QueryResult(rows)
+
+
+def is3_friends(
+    backend: TemporalBackend, person: str, t: int, t2: Optional[int] = None
+) -> QueryResult:
+    """IS3: friends with friendship creation date, newest first."""
+    if t2 is None:
+        hits = backend.neighbors_at(person, t, "both", "KNOWS")
+    else:
+        hits = backend.neighbors_between(person, t, t2, "both", "KNOWS")
+    rows = sorted(
+        (
+            {
+                "friend": hit.neighbor_ext_id,
+                "firstName": hit.neighbor_properties.get("firstName"),
+                "lastName": hit.neighbor_properties.get("lastName"),
+                "friendshipDate": hit.edge_properties.get("creationDate"),
+            }
+            for hit in hits
+        ),
+        key=lambda row: (-(row["friendshipDate"] or 0), row["friend"]),
+    )
+    return QueryResult(tuple(rows))
+
+
+def is4_message(
+    backend: TemporalBackend, message: str, t: int, t2: Optional[int] = None
+) -> QueryResult:
+    """IS4: message content and creation date."""
+    if t2 is None:
+        states = [backend.vertex_at(message, t)]
+    else:
+        states = backend.vertex_between(message, t, t2)
+    rows = tuple(
+        {
+            "content": state.get("content"),
+            "creationDate": state.get("creationDate"),
+            "length": state.get("length"),
+        }
+        for state in states
+        if state is not None
+    )
+    return QueryResult(rows)
+
+
+def is5_creator(
+    backend: TemporalBackend, message: str, t: int, t2: Optional[int] = None
+) -> QueryResult:
+    """IS5: the creator of a message."""
+    if t2 is None:
+        hits = backend.neighbors_at(message, t, "out", "HAS_CREATOR")
+    else:
+        hits = backend.neighbors_between(message, t, t2, "out", "HAS_CREATOR")
+    rows = tuple(
+        {
+            "person": hit.neighbor_ext_id,
+            "firstName": hit.neighbor_properties.get("firstName"),
+            "lastName": hit.neighbor_properties.get("lastName"),
+        }
+        for hit in hits
+    )
+    return QueryResult(rows)
+
+
+def is7_replies(
+    backend: TemporalBackend, message: str, t: int, t2: Optional[int] = None
+) -> QueryResult:
+    """IS7: replies to a message, each with its author (2 hops)."""
+    if t2 is None:
+        replies = backend.neighbors_at(message, t, "in", "REPLY_OF")
+    else:
+        replies = backend.neighbors_between(message, t, t2, "in", "REPLY_OF")
+    rows = []
+    for reply in replies:
+        if t2 is None:
+            authors = backend.neighbors_at(
+                reply.neighbor_ext_id, t, "out", "HAS_CREATOR"
+            )
+        else:
+            authors = backend.neighbors_between(
+                reply.neighbor_ext_id, t, t2, "out", "HAS_CREATOR"
+            )
+        author = authors[0] if authors else None
+        rows.append(
+            {
+                "comment": reply.neighbor_ext_id,
+                "content": reply.neighbor_properties.get("content"),
+                "author": author.neighbor_ext_id if author else None,
+                "authorFirstName": (
+                    author.neighbor_properties.get("firstName") if author else None
+                ),
+            }
+        )
+    rows.sort(key=lambda row: row["comment"])
+    return QueryResult(tuple(rows))
+
+
+#: Query registry used by benchmarks: name -> (function, target kind).
+#: Target kind selects which external-id pool to draw from.
+IS_QUERIES: dict[str, tuple[Callable[..., QueryResult], str]] = {
+    "IS1": (is1_profile, "person"),
+    "IS3": (is3_friends, "person"),
+    "IS4": (is4_message, "message"),
+    "IS5": (is5_creator, "message"),
+    "IS7": (is7_replies, "message"),
+}
+
+
+def run_query(
+    name: str,
+    backend: TemporalBackend,
+    target: str,
+    t: int,
+    t2: Optional[int] = None,
+) -> QueryResult:
+    """Dispatch one IS query by name."""
+    func, _kind = IS_QUERIES[name]
+    return func(backend, target, t, t2)

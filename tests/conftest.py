@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AeonG
+from repro.baselines import AeonGBackend, ClockGBackend, TGQLBackend
+from repro.workloads import bildbc, ldbc
+from repro.workloads.driver import WorkloadDriver
+
+
+@pytest.fixture
+def db() -> AeonG:
+    """A temporal engine with manual garbage collection."""
+    return AeonG(anchor_interval=4, gc_interval_transactions=0)
+
+
+@pytest.fixture
+def db_no_temporal() -> AeonG:
+    """The vanilla configuration (TGDB-noT)."""
+    return AeonG(temporal=False, gc_interval_transactions=0)
+
+
+@pytest.fixture(scope="session")
+def small_ldbc():
+    """A small LDBC dataset + Bi-LDBC stream shared across tests."""
+    dataset = ldbc.generate(persons=25, seed=3)
+    stream = bildbc.generate_operations(dataset, 200, seed=4)
+    return dataset, stream
+
+
+@pytest.fixture(scope="session")
+def loaded_backends(small_ldbc):
+    """All three systems loaded with the same data (read-only tests)."""
+    dataset, stream = small_ldbc
+    backends = [
+        AeonGBackend(gc_interval_transactions=150),
+        TGQLBackend(),
+        ClockGBackend(snapshot_interval=80),
+    ]
+    for backend in backends:
+        driver = WorkloadDriver(backend, seed=7)
+        driver.apply(dataset.ops)
+        driver.apply(stream.ops)
+        driver.finish_load()
+    return dataset, stream, backends

@@ -1,0 +1,189 @@
+"""Temporal analysis tests: as-of reachability, time-respecting paths,
+history statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AeonG
+from repro.analysis import (
+    reachable_at,
+    shortest_path_at,
+    time_respecting_paths,
+    version_history_stats,
+)
+from repro.errors import TemporalError
+
+
+@pytest.fixture
+def db():
+    return AeonG(anchor_interval=3, gc_interval_transactions=0)
+
+
+def _chain(db, count=4):
+    """v0 -> v1 -> ... each edge created in its own commit; returns
+    (gids, edge creation timestamps)."""
+    gids = []
+    with db.transaction() as txn:
+        for i in range(count):
+            gids.append(db.create_vertex(txn, ["N"], {"i": i}))
+    edge_times = []
+    edges = []
+    for a, b in zip(gids, gids[1:]):
+        with db.transaction() as txn:
+            edges.append(db.create_edge(txn, a, b, "LINK"))
+        edge_times.append(db.now() - 1)
+    return gids, edges, edge_times
+
+
+class TestAsOfReachability:
+    def test_connected_now(self, db):
+        gids, _edges, _times = _chain(db)
+        txn = db.begin()
+        assert reachable_at(db, txn, gids[0], gids[-1], db.now())
+        path = shortest_path_at(db, txn, gids[0], gids[-1], db.now())
+        assert path == gids
+        db.abort(txn)
+
+    def test_not_connected_before_edges_existed(self, db):
+        gids, _edges, times = _chain(db)
+        txn = db.begin()
+        assert not reachable_at(db, txn, gids[0], gids[-1], times[0] - 1)
+        # After the first edge only v0..v1 are connected.
+        assert reachable_at(db, txn, gids[0], gids[1], times[0])
+        assert not reachable_at(db, txn, gids[0], gids[2], times[0])
+        db.abort(txn)
+
+    def test_deleted_edge_breaks_current_but_not_past(self, db):
+        gids, edges, _times = _chain(db)
+        t_connected = db.now()
+        with db.transaction() as txn:
+            db.delete_edge(txn, edges[1])
+        db.collect_garbage()
+        txn = db.begin()
+        assert not reachable_at(db, txn, gids[0], gids[-1], db.now())
+        assert reachable_at(db, txn, gids[0], gids[-1], t_connected)
+        db.abort(txn)
+
+    def test_source_equals_target(self, db):
+        gids, _e, _t = _chain(db, 2)
+        txn = db.begin()
+        assert shortest_path_at(db, txn, gids[0], gids[0], db.now()) == [gids[0]]
+        db.abort(txn)
+
+    def test_shortest_prefers_shortcut(self, db):
+        gids, _e, _t = _chain(db)
+        with db.transaction() as txn:
+            db.create_edge(txn, gids[0], gids[-1], "LINK")
+        txn = db.begin()
+        path = shortest_path_at(db, txn, gids[0], gids[-1], db.now())
+        assert path == [gids[0], gids[-1]]
+        db.abort(txn)
+
+    def test_edge_type_filter(self, db):
+        gids, _e, _t = _chain(db, 2)
+        txn = db.begin()
+        assert not reachable_at(
+            db, txn, gids[0], gids[1], db.now(), edge_types={"OTHER"}
+        )
+        db.abort(txn)
+
+
+class TestTimeRespectingPaths:
+    def test_forward_chain_is_respected(self, db):
+        gids, _edges, times = _chain(db)
+        txn = db.begin()
+        paths = time_respecting_paths(db, txn, gids[0], 0, db.now())
+        db.abort(txn)
+        assert set(paths) == set(gids[1:])
+        # Arrival times are the edge creations, in order.
+        assert paths[gids[-1]].hop_times == tuple(times)
+        assert paths[gids[-1]].vertices == tuple(gids)
+
+    def test_persistent_early_edge_still_carries_flow(self, db):
+        """An edge created before the window carries information that
+        arrives while it is still alive."""
+        with db.transaction() as txn:
+            a = db.create_vertex(txn, ["N"], {})
+            b = db.create_vertex(txn, ["N"], {})
+            c = db.create_vertex(txn, ["N"], {})
+        with db.transaction() as txn:
+            db.create_edge(txn, b, c, "L")  # long before the rumor
+        with db.transaction() as txn:
+            db.create_edge(txn, a, b, "L")
+        t_start = db.now()
+        txn = db.begin()
+        paths = time_respecting_paths(db, txn, a, t_start, db.now() + 1)
+        db.abort(txn)
+        assert b in paths and c in paths
+
+    def test_deleted_edge_blocks_flow(self, db):
+        """A friendship dissolved before the information arrives cannot
+        carry it — even though it once connected the pair."""
+        with db.transaction() as txn:
+            a = db.create_vertex(txn, ["N"], {})
+            b = db.create_vertex(txn, ["N"], {})
+            c = db.create_vertex(txn, ["N"], {})
+        with db.transaction() as txn:
+            eid = db.create_edge(txn, b, c, "L")
+        with db.transaction() as txn:
+            db.delete_edge(txn, eid)  # dissolved BEFORE the rumor
+        with db.transaction() as txn:
+            db.create_edge(txn, a, b, "L")
+        t_start = db.now()
+        db.collect_garbage()
+        txn = db.begin()
+        paths = time_respecting_paths(db, txn, a, t_start, db.now() + 1)
+        db.abort(txn)
+        assert b in paths
+        assert c not in paths
+
+    def test_window_excludes_later_edges(self, db):
+        gids, _edges, times = _chain(db)
+        txn = db.begin()
+        paths = time_respecting_paths(db, txn, gids[0], 0, times[0])
+        db.abort(txn)
+        assert set(paths) == {gids[1]}
+
+    def test_empty_window_rejected(self, db):
+        gids, _e, _t = _chain(db, 2)
+        txn = db.begin()
+        with pytest.raises(TemporalError):
+            time_respecting_paths(db, txn, gids[0], 10, 5)
+        db.abort(txn)
+
+    def test_earliest_arrival_wins(self, db):
+        with db.transaction() as txn:
+            a = db.create_vertex(txn, ["N"], {})
+            b = db.create_vertex(txn, ["N"], {})
+        with db.transaction() as txn:
+            db.create_edge(txn, a, b, "L")  # early edge
+        t_early = db.now() - 1
+        with db.transaction() as txn:
+            db.create_edge(txn, a, b, "L")  # later parallel edge
+        txn = db.begin()
+        paths = time_respecting_paths(db, txn, a, 0, db.now())
+        db.abort(txn)
+        assert paths[b].arrival_time == t_early
+
+
+class TestHistoryStats:
+    def test_stats_shape(self, db):
+        with db.transaction() as txn:
+            gid = db.create_vertex(txn, ["N"], {"x": 0, "fixed": "k"})
+        for value in (1, 2, 3):
+            with db.transaction() as txn:
+                db.set_vertex_property(txn, gid, "x", value)
+        db.collect_garbage()
+        txn = db.begin()
+        stats = version_history_stats(db, txn, gid)
+        db.abort(txn)
+        assert stats.versions == 4
+        assert stats.changed_properties == ("x",)
+        assert stats.last_changed > stats.first_seen
+        assert stats.lifetime > 0
+
+    def test_unknown_gid(self, db):
+        txn = db.begin()
+        assert version_history_stats(db, txn, 999) is None
+        db.abort(txn)

@@ -1,0 +1,236 @@
+"""Baseline-system tests: T-GQL and Clock-G in isolation, plus
+cross-system agreement (every backend answers identically)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    AeonGBackend,
+    ClockGBackend,
+    GraphOp,
+    TGQLBackend,
+)
+from repro.baselines.interface import (
+    ADD_EDGE,
+    ADD_VERTEX,
+    DELETE_EDGE,
+    DELETE_VERTEX,
+    EventClock,
+    UPDATE_EDGE,
+    UPDATE_VERTEX,
+)
+from repro.workloads import queries as q
+
+
+def _scenario(backend):
+    """A small life story applied to any backend."""
+    backend.apply(GraphOp(ADD_VERTEX, 10, "person:0", label="Person",
+                          properties={"name": "Ann", "age": 30}))
+    backend.apply(GraphOp(ADD_VERTEX, 20, "person:1", label="Person",
+                          properties={"name": "Bob", "age": 25}))
+    backend.apply(GraphOp(ADD_EDGE, 30, "e0", label="KNOWS",
+                          src="person:0", dst="person:1",
+                          properties={"creationDate": 30}))
+    backend.apply(GraphOp(UPDATE_VERTEX, 40, "person:0", prop="age", value=31))
+    backend.apply(GraphOp(UPDATE_EDGE, 50, "e0", prop="weight", value=7))
+    backend.apply(GraphOp(DELETE_EDGE, 60, "e0"))
+    backend.apply(GraphOp(UPDATE_VERTEX, 70, "person:1", prop="age", value=26))
+    backend.apply(GraphOp(DELETE_VERTEX, 80, "person:1"))
+    backend.flush()
+    return backend
+
+
+BACKENDS = [
+    lambda: AeonGBackend(gc_interval_transactions=3),
+    lambda: TGQLBackend(),
+    lambda: ClockGBackend(snapshot_interval=3),
+]
+IDS = ["aeong", "tgql", "clockg"]
+
+
+@pytest.mark.parametrize("factory", BACKENDS, ids=IDS)
+class TestScenarioOnEveryBackend:
+    def test_vertex_at_tracks_updates(self, factory):
+        backend = _scenario(factory())
+        t35 = backend.to_query_time(35)
+        assert backend.vertex_at("person:0", t35)["age"] == 30
+        t45 = backend.to_query_time(45)
+        assert backend.vertex_at("person:0", t45)["age"] == 31
+
+    def test_vertex_before_creation_is_none(self, factory):
+        backend = _scenario(factory())
+        t5 = backend.to_query_time(5)
+        assert backend.vertex_at("person:0", t5) is None
+
+    def test_deleted_vertex_absent_now_present_before(self, factory):
+        backend = _scenario(factory())
+        t_now = backend.to_query_time(90)
+        assert backend.vertex_at("person:1", t_now) is None
+        t75 = backend.to_query_time(75)
+        assert backend.vertex_at("person:1", t75)["age"] == 26
+
+    def test_neighbors_respect_edge_lifetime(self, factory):
+        backend = _scenario(factory())
+        t35 = backend.to_query_time(35)
+        hits = backend.neighbors_at("person:0", t35, "out", "KNOWS")
+        assert len(hits) == 1
+        assert hits[0].neighbor_ext_id == "person:1"
+        assert hits[0].neighbor_properties["age"] == 25
+        t65 = backend.to_query_time(65)
+        assert backend.neighbors_at("person:0", t65, "out", "KNOWS") == []
+
+    def test_edge_property_update_visible(self, factory):
+        backend = _scenario(factory())
+        t55 = backend.to_query_time(55)
+        hits = backend.neighbors_at("person:0", t55, "out", "KNOWS")
+        assert hits[0].edge_properties.get("weight") == 7
+
+    def test_vertex_between_returns_every_state(self, factory):
+        backend = _scenario(factory())
+        t1 = backend.to_query_time(10)
+        t2 = backend.to_query_time(90)
+        states = backend.vertex_between("person:0", t1, t2)
+        ages = sorted({state["age"] for state in states})
+        assert ages == [30, 31]
+
+    def test_storage_is_positive(self, factory):
+        backend = _scenario(factory())
+        assert backend.storage_bytes() > 0
+
+
+class TestEventClock:
+    def test_commit_for_event(self):
+        clock = EventClock()
+        clock.record(10, 100)
+        clock.record(20, 200)
+        assert clock.commit_for_event(5) == 0
+        assert clock.commit_for_event(10) == 100
+        assert clock.commit_for_event(15) == 100
+        assert clock.commit_for_event(25) == 200
+
+    def test_rejects_time_travel(self):
+        clock = EventClock()
+        clock.record(10, 100)
+        with pytest.raises(ValueError):
+            clock.record(5, 101)
+
+
+class TestClockGSpecifics:
+    def test_snapshots_written_at_interval(self):
+        backend = ClockGBackend(snapshot_interval=4)
+        for i in range(10):
+            backend.apply(
+                GraphOp(ADD_VERTEX, i + 1, f"v:{i}", label="V", properties={})
+            )
+        assert backend.snapshots_written == 2
+
+    def test_query_before_first_snapshot_replays_log(self):
+        backend = ClockGBackend(snapshot_interval=100)
+        backend.apply(GraphOp(ADD_VERTEX, 1, "v:0", label="V",
+                              properties={"x": 1}))
+        backend.apply(GraphOp(UPDATE_VERTEX, 2, "v:0", prop="x", value=2))
+        assert backend.vertex_at("v:0", 1)["x"] == 1
+        assert backend.vertex_at("v:0", 2)["x"] == 2
+
+    def test_indexed_fetch_matches_scan(self):
+        backend = ClockGBackend(snapshot_interval=3)
+        for i in range(9):
+            backend.apply(
+                GraphOp(ADD_VERTEX, i + 1, f"v:{i}", label="V",
+                        properties={"x": i})
+            )
+        unindexed = backend.vertex_at("v:1", 9)
+        backend.create_index()
+        assert backend.vertex_at("v:1", 9) == unindexed
+
+    def test_storage_grows_with_snapshot_frequency(self):
+        sizes = {}
+        for interval in (2, 50):
+            backend = ClockGBackend(snapshot_interval=interval)
+            for i in range(40):
+                backend.apply(
+                    GraphOp(ADD_VERTEX, i + 1, f"v:{i}", label="V",
+                            properties={"pad": "p" * 30})
+                )
+            sizes[interval] = backend.storage_bytes()
+        assert sizes[2] > sizes[50]
+
+
+class TestTGQLSpecifics:
+    def test_model_nodes_created(self):
+        backend = TGQLBackend()
+        backend.apply(GraphOp(ADD_VERTEX, 1, "v:0", label="V",
+                              properties={"a": 1, "b": 2}))
+        report = backend.engine.storage_report()
+        # Object + 2 Attribute + 2 Value nodes.
+        assert report.vertex_count == 5
+        assert report.edge_count == 4  # 2 HAS_ATTRIBUTE + 2 HAS_VALUE
+
+    def test_update_appends_value_node(self):
+        backend = TGQLBackend()
+        backend.apply(GraphOp(ADD_VERTEX, 1, "v:0", label="V",
+                              properties={"a": 1}))
+        before = backend.engine.storage_report().vertex_count
+        backend.apply(GraphOp(UPDATE_VERTEX, 2, "v:0", prop="a", value=2))
+        after = backend.engine.storage_report().vertex_count
+        assert after == before + 1  # the graph only grows
+
+    def test_index_lookup_matches_scan(self):
+        backend = TGQLBackend()
+        for i in range(5):
+            backend.apply(GraphOp(ADD_VERTEX, i + 1, f"v:{i}", label="V",
+                                  properties={"x": i}))
+        unindexed = backend.vertex_at("v:3", 9)
+        backend.create_index()
+        assert backend.vertex_at("v:3", 9) == unindexed
+
+
+class TestCrossSystemAgreement:
+    """The strongest check: at random instants all three systems give
+    the same answers on the shared LDBC + Bi-LDBC load."""
+
+    def test_vertex_states_agree(self, loaded_backends):
+        dataset, stream, backends = loaded_backends
+        rng = random.Random(17)
+        for _ in range(25):
+            t_evt = rng.randint(1, stream.last_ts)
+            target = rng.choice(dataset.person_ids + dataset.post_ids)
+            answers = [
+                b.vertex_at(target, b.to_query_time(t_evt)) for b in backends
+            ]
+            assert answers[0] == answers[1] == answers[2], (t_evt, target)
+
+    def test_neighbors_agree(self, loaded_backends):
+        dataset, stream, backends = loaded_backends
+        rng = random.Random(18)
+        for _ in range(15):
+            t_evt = rng.randint(1, stream.last_ts)
+            person = rng.choice(dataset.person_ids)
+            answers = []
+            for backend in backends:
+                hits = backend.neighbors_at(
+                    person, backend.to_query_time(t_evt), "both", "KNOWS"
+                )
+                answers.append(sorted(h.neighbor_ext_id for h in hits))
+            assert answers[0] == answers[1] == answers[2], (t_evt, person)
+
+    @pytest.mark.parametrize("name", ["IS1", "IS3", "IS4", "IS5", "IS7"])
+    def test_is_queries_agree(self, loaded_backends, name):
+        dataset, stream, backends = loaded_backends
+        rng = random.Random(19)
+        pool = (
+            dataset.person_ids
+            if name in ("IS1", "IS3")
+            else dataset.message_ids
+        )
+        for _ in range(8):
+            t_evt = rng.randint(1, stream.last_ts)
+            target = rng.choice(pool)
+            results = [
+                q.run_query(name, b, target, b.to_query_time(t_evt)).rows
+                for b in backends
+            ]
+            assert results[0] == results[1] == results[2], (name, t_evt, target)

@@ -1,0 +1,83 @@
+"""Bloom-filter tests: no false negatives, bounded false positives,
+persistence, SSTable integration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CorruptionError
+from repro.kvstore.bloom import BloomFilter
+from repro.kvstore.sstable import SSTable
+
+
+class TestBloomFilter:
+    def test_added_keys_always_found(self):
+        bloom = BloomFilter(100)
+        keys = [f"key-{i}".encode() for i in range(100)]
+        for key in keys:
+            bloom.add(key)
+        assert all(bloom.might_contain(key) for key in keys)
+
+    def test_false_positive_rate_is_sane(self):
+        bloom = BloomFilter(1000, fp_rate=0.01)
+        for i in range(1000):
+            bloom.add(f"member-{i}".encode())
+        false_positives = sum(
+            1
+            for i in range(10_000)
+            if bloom.might_contain(f"absent-{i}".encode())
+        )
+        assert false_positives < 10_000 * 0.05  # 5x headroom over target
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(10)
+        assert not bloom.might_contain(b"anything")
+
+    def test_encode_decode_roundtrip(self):
+        bloom = BloomFilter(50)
+        for i in range(50):
+            bloom.add(f"k{i}".encode())
+        clone = BloomFilter.decode(bloom.encode())
+        assert clone.bit_count == bloom.bit_count
+        assert clone.hash_count == bloom.hash_count
+        for i in range(50):
+            assert clone.might_contain(f"k{i}".encode())
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(CorruptionError):
+            BloomFilter.decode(b"xx")
+        bloom = BloomFilter(10)
+        with pytest.raises(CorruptionError):
+            BloomFilter.decode(bloom.encode()[:-1])
+
+    def test_bad_fp_rate_rejected(self):
+        with pytest.raises(ValueError):
+            BloomFilter(10, fp_rate=0.0)
+        with pytest.raises(ValueError):
+            BloomFilter(10, fp_rate=1.5)
+
+    @given(st.sets(st.binary(min_size=1, max_size=16), max_size=120))
+    @settings(max_examples=100)
+    def test_no_false_negatives_property(self, keys):
+        bloom = BloomFilter(max(1, len(keys)))
+        for key in keys:
+            bloom.add(key)
+        assert all(bloom.might_contain(key) for key in keys)
+
+
+class TestSstableIntegration:
+    def test_absent_key_short_circuits(self):
+        table = SSTable([(f"k{i:03d}".encode(), b"v") for i in range(200)])
+        # Present keys always resolve.
+        assert table.get(b"k100") == (True, b"v")
+        # Most absent keys are rejected by the filter alone; all report
+        # not-found either way.
+        assert table.get(b"nope") == (False, None)
+
+    def test_bloom_survives_encode_decode(self):
+        table = SSTable([(b"alpha", b"1"), (b"beta", None)])
+        clone = SSTable.decode(table.encode())
+        assert clone.get(b"alpha") == (True, b"1")
+        assert clone.get(b"beta") == (True, None)
+        assert clone.get(b"gamma") == (False, None)

@@ -1,0 +1,169 @@
+"""Concurrency tests: parallel writers, readers during GC/migration.
+
+These exercise the locking the paper's design depends on — user
+transactions proceed while the garbage collector migrates history in
+the background ("asynchronously ... lightweight to the original
+databases").
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro import AeonG, TemporalCondition
+from repro.errors import SerializationConflict
+
+
+def test_parallel_disjoint_writers_all_commit():
+    db = AeonG(gc_interval_transactions=0)
+    gids = []
+    with db.transaction() as txn:
+        for i in range(8):
+            gids.append(db.create_vertex(txn, ["C"], {"slot": i, "v": 0}))
+    errors = []
+
+    def worker(gid):
+        try:
+            for value in range(25):
+                with db.transaction() as txn:
+                    db.set_vertex_property(txn, gid, "v", value)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(g,)) for g in gids]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    with db.transaction() as txn:
+        for gid in gids:
+            assert db.get_vertex(txn, gid).properties["v"] == 24
+
+
+def test_conflicting_writers_one_wins():
+    db = AeonG(gc_interval_transactions=0)
+    with db.transaction() as txn:
+        gid = db.create_vertex(txn, ["C"], {"v": 0})
+    outcomes = {"committed": 0, "aborted": 0}
+    lock = threading.Lock()
+    barrier = threading.Barrier(4)
+
+    def worker(value):
+        barrier.wait()
+        txn = db.begin()
+        try:
+            db.set_vertex_property(txn, gid, "v", value)
+            db.commit(txn)
+            with lock:
+                outcomes["committed"] += 1
+        except SerializationConflict:
+            db.abort(txn)
+            with lock:
+                outcomes["aborted"] += 1
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert outcomes["committed"] >= 1
+    assert outcomes["committed"] + outcomes["aborted"] == 4
+
+
+def test_counter_increments_never_lost():
+    """Retry-on-conflict increments must serialize to the exact total."""
+    db = AeonG(gc_interval_transactions=0)
+    with db.transaction() as txn:
+        gid = db.create_vertex(txn, ["C"], {"n": 0})
+    increments_per_thread = 20
+
+    def worker():
+        for _ in range(increments_per_thread):
+            while True:
+                txn = db.begin()
+                try:
+                    current = db.get_vertex(txn, gid).properties["n"]
+                    db.set_vertex_property(txn, gid, "n", current + 1)
+                    db.commit(txn)
+                    break
+                except SerializationConflict:
+                    db.abort(txn)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    with db.transaction() as txn:
+        assert db.get_vertex(txn, gid).properties["n"] == 80
+
+
+def test_readers_stable_while_gc_runs():
+    db = AeonG(anchor_interval=3, gc_interval_transactions=0)
+    with db.transaction() as txn:
+        gid = db.create_vertex(txn, ["C"], {"v": 0})
+    stamps = []
+    for value in range(1, 40):
+        with db.transaction() as txn:
+            db.set_vertex_property(txn, gid, "v", value)
+        stamps.append((db.now() - 1, value))
+    stop = threading.Event()
+    failures = []
+
+    def gc_loop():
+        while not stop.is_set():
+            db.collect_garbage()
+
+    def read_loop():
+        try:
+            for _ in range(30):
+                for ts, value in stamps[::5]:
+                    view = next(
+                        db.vertex_versions(
+                            db.begin(), gid, TemporalCondition.as_of(ts)
+                        )
+                    )
+                    assert view.properties["v"] == value, (ts, value)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            failures.append(exc)
+
+    gc_thread = threading.Thread(target=gc_loop)
+    readers = [threading.Thread(target=read_loop) for _ in range(3)]
+    gc_thread.start()
+    for r in readers:
+        r.start()
+    for r in readers:
+        r.join()
+    stop.set()
+    gc_thread.join()
+    assert failures == []
+
+
+def test_writers_during_gc_preserve_history():
+    db = AeonG(anchor_interval=2, gc_interval_transactions=0)
+    with db.transaction() as txn:
+        gid = db.create_vertex(txn, ["C"], {"v": -1})
+    stop = threading.Event()
+
+    def gc_loop():
+        while not stop.is_set():
+            db.collect_garbage()
+
+    gc_thread = threading.Thread(target=gc_loop)
+    gc_thread.start()
+    stamps = []
+    try:
+        for value in range(60):
+            with db.transaction() as txn:
+                db.set_vertex_property(txn, gid, "v", value)
+            stamps.append((db.now() - 1, value))
+    finally:
+        stop.set()
+        gc_thread.join()
+    db.collect_garbage()
+    reader = db.begin()
+    for ts, value in stamps:
+        view = next(db.vertex_versions(reader, gid, TemporalCondition.as_of(ts)))
+        assert view.properties["v"] == value
+    db.abort(reader)

@@ -1,0 +1,169 @@
+"""Unique-constraint tests: enforcement, transactional claims,
+aborts, label interaction, concurrency."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import AeonG
+from repro.errors import ConstraintViolation, GraphError
+
+
+@pytest.fixture
+def db():
+    db = AeonG(gc_interval_transactions=0)
+    db.create_unique_constraint("User", "email")
+    return db
+
+
+def _user(db, email, **props):
+    with db.transaction() as txn:
+        return db.create_vertex(txn, ["User"], {"email": email, **props})
+
+
+class TestEnforcement:
+    def test_duplicate_insert_rejected(self, db):
+        _user(db, "a@x.io")
+        with pytest.raises(ConstraintViolation):
+            _user(db, "a@x.io")
+
+    def test_distinct_values_fine(self, db):
+        _user(db, "a@x.io")
+        _user(db, "b@x.io")
+
+    def test_update_into_conflict_rejected(self, db):
+        _user(db, "a@x.io")
+        gid = _user(db, "b@x.io")
+        with pytest.raises(ConstraintViolation):
+            with db.transaction() as txn:
+                db.set_vertex_property(txn, gid, "email", "a@x.io")
+
+    def test_value_reusable_after_removal(self, db):
+        gid = _user(db, "a@x.io")
+        with db.transaction() as txn:
+            db.set_vertex_property(txn, gid, "email", None)
+        _user(db, "a@x.io")  # freed
+
+    def test_value_reusable_after_delete(self, db):
+        gid = _user(db, "a@x.io")
+        with db.transaction() as txn:
+            db.delete_vertex(txn, gid)
+        _user(db, "a@x.io")
+
+    def test_same_vertex_rewrite_is_fine(self, db):
+        gid = _user(db, "a@x.io")
+        with db.transaction() as txn:
+            db.set_vertex_property(txn, gid, "name", "Ann")  # unrelated
+        with db.transaction() as txn:
+            db.set_vertex_property(txn, gid, "email", "a2@x.io")
+        with db.transaction() as txn:
+            db.set_vertex_property(txn, gid, "email", "a@x.io")  # back
+
+    def test_other_labels_unconstrained(self, db):
+        _user(db, "a@x.io")
+        with db.transaction() as txn:
+            db.create_vertex(txn, ["Bot"], {"email": "a@x.io"})  # not :User
+
+    def test_vertex_without_value_unconstrained(self, db):
+        with db.transaction() as txn:
+            db.create_vertex(txn, ["User"], {"name": "anon1"})
+            db.create_vertex(txn, ["User"], {"name": "anon2"})
+
+
+class TestLabelInteraction:
+    def test_adding_label_claims(self, db):
+        _user(db, "a@x.io")
+        with db.transaction() as txn:
+            gid = db.create_vertex(txn, ["Visitor"], {"email": "a@x.io"})
+        with pytest.raises(ConstraintViolation):
+            with db.transaction() as txn:
+                db.add_label(txn, gid, "User")
+
+    def test_removing_label_releases(self, db):
+        gid = _user(db, "a@x.io")
+        with db.transaction() as txn:
+            db.remove_label(txn, gid, "User")
+        _user(db, "a@x.io")
+
+
+class TestTransactionality:
+    def test_abort_releases_claim(self, db):
+        txn = db.begin()
+        db.create_vertex(txn, ["User"], {"email": "a@x.io"})
+        db.abort(txn)
+        _user(db, "a@x.io")  # claim rolled back
+
+    def test_abort_restores_released_claim(self, db):
+        gid = _user(db, "a@x.io")
+        txn = db.begin()
+        db.set_vertex_property(txn, gid, "email", None)
+        db.abort(txn)
+        with pytest.raises(ConstraintViolation):
+            _user(db, "a@x.io")  # original claim is back
+
+    def test_uncommitted_claim_blocks_others(self, db):
+        txn = db.begin()
+        db.create_vertex(txn, ["User"], {"email": "a@x.io"})
+        other = db.begin()
+        with pytest.raises(ConstraintViolation):
+            db.create_vertex(other, ["User"], {"email": "a@x.io"})
+        db.abort(txn)
+        db.abort(other)
+
+    def test_swap_within_transaction(self, db):
+        gid = _user(db, "a@x.io")
+        with db.transaction() as txn:
+            db.set_vertex_property(txn, gid, "email", "tmp@x.io")
+            db.set_vertex_property(txn, gid, "email", "a@x.io")
+
+    def test_concurrent_inserts_one_wins(self, db):
+        outcomes = []
+        barrier = threading.Barrier(4)
+
+        def worker(i):
+            barrier.wait()
+            txn = db.begin()
+            try:
+                db.create_vertex(txn, ["User"], {"email": "race@x.io"})
+                db.commit(txn)
+                outcomes.append("ok")
+            except ConstraintViolation:
+                db.abort(txn)
+                outcomes.append("violation")
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outcomes.count("ok") == 1
+        assert outcomes.count("violation") == 3
+
+
+class TestCreationAndDrop:
+    def test_creation_validates_existing_data(self):
+        db = AeonG(gc_interval_transactions=0)
+        with db.transaction() as txn:
+            db.create_vertex(txn, ["User"], {"email": "dup@x.io"})
+            db.create_vertex(txn, ["User"], {"email": "dup@x.io"})
+        with pytest.raises(ConstraintViolation):
+            db.create_unique_constraint("User", "email")
+
+    def test_duplicate_constraint_rejected(self, db):
+        with pytest.raises(GraphError):
+            db.create_unique_constraint("User", "email")
+
+    def test_drop_lifts_enforcement(self, db):
+        _user(db, "a@x.io")
+        db.drop_unique_constraint("User", "email")
+        _user(db, "a@x.io")
+
+    def test_drop_unknown_rejected(self, db):
+        with pytest.raises(GraphError):
+            db.drop_unique_constraint("User", "nope")
+
+    def test_unhashable_value_rejected_under_constraint(self, db):
+        with pytest.raises(ConstraintViolation):
+            _user(db, ["list", "is", "unhashable"])

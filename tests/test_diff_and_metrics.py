@@ -1,0 +1,115 @@
+"""Tests for the audit-diff primitive and the metrics surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AeonG
+from repro.errors import TemporalError
+
+
+@pytest.fixture
+def db():
+    return AeonG(anchor_interval=3, gc_interval_transactions=0)
+
+
+class TestDiffVertex:
+    def _setup(self, db):
+        with db.transaction() as txn:
+            gid = db.create_vertex(
+                txn, ["Account"], {"balance": 100, "owner": "Jack"}
+            )
+        t1 = db.now()
+        with db.transaction() as txn:
+            db.set_vertex_property(txn, gid, "balance", 40)
+            db.set_vertex_property(txn, gid, "flagged", True)
+            db.set_vertex_property(txn, gid, "owner", None)
+            db.add_label(txn, gid, "Suspicious")
+        t2 = db.now()
+        return gid, t1, t2
+
+    def test_property_diff(self, db):
+        gid, t1, t2 = self._setup(db)
+        with db.transaction() as txn:
+            diff = db.diff_vertex(txn, gid, t1 - 1, t2 - 1)
+        assert diff["changed"] == {"balance": (100, 40)}
+        assert diff["added"] == {"flagged": True}
+        assert diff["removed"] == {"owner": "Jack"}
+        assert diff["labels_added"] == ["Suspicious"]
+        assert diff["labels_removed"] == []
+        assert diff["existence"] == "unchanged"
+
+    def test_diff_is_symmetric_window(self, db):
+        gid, t1, t2 = self._setup(db)
+        with db.transaction() as txn:
+            reverse = db.diff_vertex(txn, gid, t2 - 1, t1 - 1)
+        assert reverse["changed"] == {"balance": (40, 100)}
+        assert reverse["added"] == {"owner": "Jack"}
+        assert reverse["removed"] == {"flagged": True}
+
+    def test_creation_and_deletion_windows(self, db):
+        gid, t1, t2 = self._setup(db)
+        with db.transaction() as txn:
+            db.delete_vertex(txn, gid)
+        t3 = db.now()
+        with db.transaction() as txn:
+            created = db.diff_vertex(txn, gid, 0, t1 - 1)
+            deleted = db.diff_vertex(txn, gid, t2 - 1, t3)
+        assert created["existence"] == "created"
+        assert created["added"]["balance"] == 100
+        assert deleted["existence"] == "deleted"
+        assert deleted["removed"]["balance"] == 40
+
+    def test_none_when_never_alive_in_window(self, db):
+        gid, t1, _t2 = self._setup(db)
+        with db.transaction() as txn:
+            other = db.create_vertex(txn, ["X"])
+        with db.transaction() as txn:
+            assert db.diff_vertex(txn, gid, 0, 0) is None
+
+    def test_diff_across_gc(self, db):
+        gid, t1, t2 = self._setup(db)
+        db.collect_garbage()
+        with db.transaction() as txn:
+            diff = db.diff_vertex(txn, gid, t1 - 1, t2 - 1)
+        assert diff["changed"] == {"balance": (100, 40)}
+
+    def test_requires_temporal(self):
+        db = AeonG(temporal=False, gc_interval_transactions=0)
+        with db.transaction() as txn:
+            gid = db.create_vertex(txn, ["X"])
+        with db.transaction() as txn:
+            with pytest.raises(TemporalError):
+                db.diff_vertex(txn, gid, 0, 1)
+
+
+class TestMetrics:
+    def test_shape_and_counters(self, db):
+        with db.transaction() as txn:
+            gid = db.create_vertex(txn, ["X"], {"v": 0})
+        for value in range(1, 5):
+            with db.transaction() as txn:
+                db.set_vertex_property(txn, gid, "v", value)
+        db.collect_garbage()
+        metrics = db.metrics()
+        assert metrics["gc"]["runs"] == 1
+        assert metrics["gc"]["deltas_reclaimed"] >= 5
+        assert metrics["migration"]["records_written"] >= 5
+        assert metrics["current_store"]["vertices"] == 1
+        assert metrics["history_kv"]["bytes"] > 0
+        assert metrics["wal"] == {"enabled": False, "records": 0}
+
+    def test_active_transactions_visible(self, db):
+        txn = db.begin()
+        assert db.metrics()["transactions"]["active"] == 1
+        db.abort(txn)
+        assert db.metrics()["transactions"]["active"] == 0
+
+    def test_wal_metrics(self, tmp_path):
+        db = AeonG.open(tmp_path / "d", gc_interval_transactions=0)
+        with db.transaction() as txn:
+            db.create_vertex(txn, ["X"])
+        metrics = db.metrics()
+        assert metrics["wal"]["enabled"]
+        assert metrics["wal"]["records"] == 1
+        db.close()

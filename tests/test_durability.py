@@ -1,0 +1,215 @@
+"""Durability tests: WAL journaling, crash recovery, checkpoints,
+timestamp- and gid-exact replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AeonG, TemporalCondition
+from repro.core.durability import EngineWal, WAL_FILENAME
+from repro.errors import StorageError
+
+
+def _history_signature(db: AeonG):
+    """Every (gid, tt, properties) version triple in the database."""
+    cond = TemporalCondition.between(0, db.now())
+    txn = db.begin()
+    signature = []
+    try:
+        gids = {record.gid for record in db.storage.iter_vertex_records()}
+        gids |= db.history.known_gids("vertex")
+        for gid in sorted(gids):
+            for view in db.vertex_versions(txn, gid, cond):
+                signature.append((gid, view.tt, tuple(sorted(view.properties.items()))))
+    finally:
+        db.abort(txn)
+    return signature
+
+
+def _workload(db: AeonG) -> dict:
+    with db.transaction() as txn:
+        a = db.create_vertex(txn, ["P"], {"name": "a", "v": 0})
+        b = db.create_vertex(txn, ["P"], {"name": "b"})
+        e = db.create_edge(txn, a, b, "KNOWS", {"w": 1})
+    for value in (1, 2, 3):
+        with db.transaction() as txn:
+            db.set_vertex_property(txn, a, "v", value)
+    with db.transaction() as txn:
+        db.add_label(txn, b, "Admin")
+        db.set_edge_property(txn, e, "w", 9)
+    with db.transaction() as txn:
+        c = db.create_vertex(txn, ["P"], {"name": "c"})
+    with db.transaction() as txn:
+        db.delete_vertex(txn, c)
+    return {"a": a, "b": b, "e": e, "c": c}
+
+
+class TestRecovery:
+    def test_open_fresh_directory(self, tmp_path):
+        db = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        _workload(db)
+        db.close()
+
+    def test_replay_reproduces_state_and_history(self, tmp_path):
+        db = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        ids = _workload(db)
+        expected = _history_signature(db)
+        db.close()  # "crash" after close: WAL intact, no checkpoint
+        recovered = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        assert _history_signature(recovered) == expected
+        with recovered.transaction() as txn:
+            view = recovered.get_vertex(txn, ids["a"])
+            assert view.properties["v"] == 3
+            edge = recovered.get_edge(txn, ids["e"])
+            assert edge.properties["w"] == 9
+        recovered.close()
+
+    def test_replay_preserves_commit_timestamps(self, tmp_path):
+        db = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        ids = _workload(db)
+        txn = db.begin()
+        original = [
+            view.tt
+            for view in db.vertex_versions(
+                txn, ids["a"], TemporalCondition.between(0, db.now())
+            )
+        ]
+        db.abort(txn)
+        db.close()
+        recovered = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        txn = recovered.begin()
+        replayed = [
+            view.tt
+            for view in recovered.vertex_versions(
+                txn, ids["a"], TemporalCondition.between(0, recovered.now())
+            )
+        ]
+        recovered.abort(txn)
+        assert replayed == original
+        recovered.close()
+
+    def test_replay_preserves_gids(self, tmp_path):
+        db = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        ids = _workload(db)
+        db.close()
+        recovered = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        with recovered.transaction() as txn:
+            assert recovered.get_vertex(txn, ids["a"]).properties["name"] == "a"
+            assert recovered.get_edge(txn, ids["e"]).edge_type == "KNOWS"
+        recovered.close()
+
+    def test_new_writes_after_recovery_are_journaled(self, tmp_path):
+        db = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        _workload(db)
+        db.close()
+        second = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        with second.transaction() as txn:
+            second.create_vertex(txn, ["P"], {"name": "later"})
+        second.close()
+        third = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        rows = third.execute(
+            "MATCH (n:P {name: 'later'}) RETURN count(*) AS c"
+        )
+        assert rows == [{"c": 1}]
+        third.close()
+
+    def test_torn_tail_drops_only_last_transaction(self, tmp_path):
+        db = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        ids = _workload(db)
+        db.close()
+        wal_path = tmp_path / "data" / WAL_FILENAME
+        data = wal_path.read_bytes()
+        wal_path.write_bytes(data[:-4])  # crash mid-append
+        recovered = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        # Everything but the torn final transaction (the delete of c)
+        # survives; c is therefore still alive.
+        with recovered.transaction() as txn:
+            assert recovered.get_vertex(txn, ids["c"]) is not None
+            assert recovered.get_vertex(txn, ids["a"]).properties["v"] == 3
+        recovered.close()
+
+    def test_aborted_transactions_not_journaled(self, tmp_path):
+        db = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        _workload(db)
+        txn = db.begin()
+        db.create_vertex(txn, ["P"], {"name": "ghost"})
+        db.abort(txn)
+        db.close()
+        recovered = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        rows = recovered.execute(
+            "MATCH (n:P {name: 'ghost'}) RETURN count(*) AS c"
+        )
+        assert rows == [{"c": 0}]
+        recovered.close()
+
+    def test_read_only_transactions_append_nothing(self, tmp_path):
+        db = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        _workload(db)
+        before = db._wal.records_appended
+        with db.transaction() as txn:
+            list(db.iter_vertices(txn))
+        assert db._wal.records_appended == before
+        db.close()
+
+
+class TestCheckpoint:
+    def test_checkpoint_truncates_and_recovers(self, tmp_path):
+        db = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        ids = _workload(db)
+        expected = _history_signature(db)
+        db.checkpoint()
+        wal = EngineWal(tmp_path / "data")
+        assert list(wal.replay()) == []
+        wal.close()
+        db.close()
+        recovered = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        assert _history_signature(recovered) == expected
+        with recovered.transaction() as txn:
+            assert recovered.get_vertex(txn, ids["a"]).properties["v"] == 3
+        recovered.close()
+
+    def test_writes_after_checkpoint_replay_on_top(self, tmp_path):
+        db = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        ids = _workload(db)
+        db.checkpoint()
+        with db.transaction() as txn:
+            db.set_vertex_property(txn, ids["a"], "v", 99)
+        db.close()
+        recovered = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        with recovered.transaction() as txn:
+            assert recovered.get_vertex(txn, ids["a"]).properties["v"] == 99
+        # Full history still spans both sides of the checkpoint.
+        txn = recovered.begin()
+        versions = list(
+            recovered.vertex_versions(
+                txn, ids["a"], TemporalCondition.between(0, recovered.now())
+            )
+        )
+        recovered.abort(txn)
+        assert [v.properties["v"] for v in versions] == [99, 3, 2, 1, 0]
+        recovered.close()
+
+    def test_checkpoint_requires_durability(self):
+        db = AeonG(gc_interval_transactions=0)
+        with pytest.raises(StorageError):
+            db.checkpoint()
+
+    def test_multiple_checkpoint_cycles(self, tmp_path):
+        db = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        ids = _workload(db)
+        for value in (10, 11, 12):
+            with db.transaction() as txn:
+                db.set_vertex_property(txn, ids["a"], "v", value)
+            db.checkpoint()
+        db.close()
+        recovered = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        txn = recovered.begin()
+        versions = [
+            view.properties["v"]
+            for view in recovered.vertex_versions(
+                txn, ids["a"], TemporalCondition.between(0, recovered.now())
+            )
+        ]
+        recovered.abort(txn)
+        assert versions == [12, 11, 10, 3, 2, 1, 0]
+        recovered.close()

@@ -1,0 +1,88 @@
+"""Scalar/string/list function tests for the query language."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AeonG
+from repro.errors import ExecutionError
+
+
+@pytest.fixture
+def db():
+    db = AeonG(gc_interval_transactions=0)
+    db.execute("CREATE (n:S {text: '  Hello World  ', n: -5, f: 2.5})")
+    return db
+
+
+def _one(db, expression, **params):
+    rows = db.execute(f"MATCH (n:S) RETURN {expression} AS out", params or None)
+    return rows[0]["out"]
+
+
+class TestStringFunctions:
+    def test_upper_lower(self, db):
+        assert _one(db, "upper('abc')") == "ABC"
+        assert _one(db, "lower('ABC')") == "abc"
+
+    def test_trim(self, db):
+        assert _one(db, "trim(n.text)") == "Hello World"
+
+    def test_starts_ends_contains(self, db):
+        assert _one(db, "starts_with('graph', 'gra')") is True
+        assert _one(db, "ends_with('graph', 'ph')") is True
+        assert _one(db, "contains_string('graph', 'rap')") is True
+        assert _one(db, "starts_with('graph', 'x')") is False
+
+    def test_substring(self, db):
+        assert _one(db, "substring('temporal', 0, 4)") == "temp"
+        assert _one(db, "substring('temporal', 4)") == "oral"
+
+    def test_split_and_replace(self, db):
+        assert _one(db, "split('a,b,c', ',')") == ["a", "b", "c"]
+        assert _one(db, "replace('a-b-c', '-', '.')") == "a.b.c"
+
+    def test_null_propagates(self, db):
+        assert _one(db, "upper(n.missing)") is None
+        assert _one(db, "starts_with(n.missing, 'x')") is None
+
+    def test_type_error(self, db):
+        with pytest.raises(ExecutionError):
+            _one(db, "upper(5)")
+
+
+class TestConversions:
+    def test_to_string(self, db):
+        assert _one(db, "to_string(42)") == "42"
+        assert _one(db, "to_string(true)") == "true"
+        assert _one(db, "to_string(n.missing)") is None
+
+    def test_to_integer(self, db):
+        assert _one(db, "to_integer('42')") == 42
+        assert _one(db, "to_integer(n.f)") == 2
+        assert _one(db, "to_integer('nope')") is None
+
+    def test_abs(self, db):
+        assert _one(db, "abs(n.n)") == 5
+
+
+class TestRangeAndSize:
+    def test_range(self, db):
+        assert _one(db, "range(1, 4)") == [1, 2, 3, 4]
+        assert _one(db, "range(4, 1, 0 - 1)") == [4, 3, 2, 1]
+        assert _one(db, "range(1, 3, 2)") == [1, 3]
+
+    def test_size_of_string_and_list(self, db):
+        assert _one(db, "size('abcd')") == 4
+        assert _one(db, "size([1, 2, 3])") == 3
+
+    def test_unwind_range_aggregation(self, db):
+        rows = db.execute(
+            "UNWIND range(1, 100) AS x WITH x WHERE x % 2 = 0 "
+            "RETURN count(*) AS evens, sum(x) AS total"
+        )
+        assert rows == [{"evens": 50, "total": 2550}]
+
+    def test_coalesce(self, db):
+        assert _one(db, "coalesce(n.missing, n.n, 99)") == -5
+        assert _one(db, "coalesce(n.missing, n.also_missing)") is None

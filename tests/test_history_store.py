@@ -1,0 +1,199 @@
+"""History-store tests: key codec, delta merging, anchors,
+reconstruction (paper section 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import keys as hk
+from repro.core.anchors import AnchorPolicy
+from repro.core.deltas import (
+    OLDER_EXISTS,
+    OLDER_MISSING,
+    decode_payload,
+    merge_transaction_deltas,
+)
+from repro.errors import CorruptionError
+from repro.graph import GraphStorage
+from repro.mvcc.transaction import Transaction
+
+
+class TestKeyCodec:
+    def test_roundtrip(self):
+        key = hk.encode_key(hk.SEGMENT_VERTEX, hk.KIND_DELTA, 42, 10, 20)
+        decoded = hk.decode_key(key)
+        assert decoded == (hk.SEGMENT_VERTEX, hk.KIND_DELTA, 42, 10, 20)
+
+    def test_rejects_bad_segment_and_kind(self):
+        with pytest.raises(ValueError):
+            hk.encode_key(b"X", hk.KIND_DELTA, 1, 0, 1)
+        with pytest.raises(ValueError):
+            hk.encode_key(hk.SEGMENT_VERTEX, b"Z", 1, 0, 1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            hk.encode_key(hk.SEGMENT_VERTEX, hk.KIND_DELTA, -1, 0, 1)
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(CorruptionError):
+            hk.decode_key(b"short")
+        with pytest.raises(CorruptionError):
+            hk.decode_key(b"XY" + b"\x00" * 24)
+
+    def test_same_object_versions_cluster_and_sort(self):
+        keys = [
+            hk.encode_key(hk.SEGMENT_VERTEX, hk.KIND_DELTA, 7, s, e)
+            for s, e in [(0, 5), (5, 9), (9, 12)]
+        ]
+        assert keys == sorted(keys)
+        other = hk.encode_key(hk.SEGMENT_VERTEX, hk.KIND_DELTA, 8, 0, 1)
+        assert all(k < other for k in keys)
+
+    def test_anchor_and_delta_segments_disjoint(self):
+        anchor = hk.encode_key(hk.SEGMENT_VERTEX, hk.KIND_ANCHOR, 7, 0, 5)
+        delta = hk.encode_key(hk.SEGMENT_VERTEX, hk.KIND_DELTA, 7, 0, 5)
+        assert anchor != delta
+        assert anchor.startswith(hk.segment_prefix(hk.SEGMENT_VERTEX, hk.KIND_ANCHOR))
+
+    def test_seek_key_after_lands_after_tt_end(self):
+        target = hk.encode_key(hk.SEGMENT_VERTEX, hk.KIND_DELTA, 7, 0, 10)
+        assert hk.seek_key_after(hk.SEGMENT_VERTEX, hk.KIND_DELTA, 7, 10) > target
+        assert hk.seek_key_after(hk.SEGMENT_VERTEX, hk.KIND_DELTA, 7, 9) <= target
+
+    @given(
+        st.integers(0, 2**40),
+        st.integers(0, 2**40),
+        st.integers(0, 2**40),
+    )
+    @settings(max_examples=200)
+    def test_codec_roundtrip_property(self, gid, a, b):
+        key = hk.encode_key(hk.SEGMENT_EDGE, hk.KIND_ANCHOR, gid, a, b)
+        decoded = hk.decode_key(key)
+        assert (decoded.gid, decoded.tt_start, decoded.tt_end) == (gid, a, b)
+
+
+def _deltas_of(storage, build):
+    """Run ``build(txn)`` and return the committed undo deltas."""
+    txn = storage.manager.begin()
+    build(txn)
+    storage.manager.commit(txn)
+    return [delta for _record, delta in txn.undo_buffer]
+
+
+class TestDeltaMerging:
+    def test_property_updates_merge_keeping_oldest(self):
+        storage = GraphStorage()
+        txn = storage.manager.begin()
+        gid = storage.create_vertex(txn, [], {"x": 1})
+        storage.manager.commit(txn)
+        deltas = _deltas_of(
+            storage,
+            lambda t: (
+                storage.set_vertex_property(t, gid, "x", 2),
+                storage.set_vertex_property(t, gid, "x", 3),
+            ),
+        )
+        drafts = merge_transaction_deltas(deltas)
+        assert len(drafts) == 1
+        assert drafts[0].payload["p"] == {"x": 1}  # pre-transaction value
+
+    def test_label_toggle_cancels(self):
+        storage = GraphStorage()
+        txn = storage.manager.begin()
+        gid = storage.create_vertex(txn, ["A"])
+        storage.manager.commit(txn)
+        deltas = _deltas_of(
+            storage,
+            lambda t: (
+                storage.add_label(t, gid, "B"),
+                storage.remove_label(t, gid, "B"),
+            ),
+        )
+        drafts = merge_transaction_deltas(deltas)
+        assert len(drafts) == 1
+        payload = drafts[0].payload
+        assert payload.get("la", []) == [] and payload.get("lr", []) == []
+
+    def test_creation_marks_older_missing(self):
+        storage = GraphStorage()
+        deltas = _deltas_of(
+            storage, lambda t: storage.create_vertex(t, ["A"], {"x": 1})
+        )
+        drafts = merge_transaction_deltas(deltas)
+        assert drafts[0].payload["x"] == OLDER_MISSING
+
+    def test_create_then_delete_in_one_txn_stays_missing(self):
+        storage = GraphStorage()
+
+        def build(t):
+            gid = storage.create_vertex(t, ["A"], {"x": 1})
+            storage.delete_vertex(t, gid)
+
+        drafts = merge_transaction_deltas(_deltas_of(storage, build))
+        vertex_drafts = [d for d in drafts if d.segment == hk.SEGMENT_VERTEX]
+        assert vertex_drafts[0].payload["x"] == OLDER_MISSING
+
+    def test_deletion_produces_edge_and_topology_records(self):
+        storage = GraphStorage()
+        txn = storage.manager.begin()
+        a = storage.create_vertex(txn, ["A"])
+        b = storage.create_vertex(txn, ["B"])
+        eid = storage.create_edge(txn, a, b, "T", {"w": 5})
+        storage.manager.commit(txn)
+        deltas = _deltas_of(storage, lambda t: storage.delete_edge(t, eid))
+        statics = {eid: ("T", a, b)}
+        drafts = merge_transaction_deltas(deltas, statics)
+        by_segment = {}
+        for draft in drafts:
+            by_segment.setdefault(draft.segment, []).append(draft)
+        # One E record (property clear + existence) ...
+        edge_drafts = by_segment[hk.SEGMENT_EDGE]
+        assert len(edge_drafts) == 1
+        assert edge_drafts[0].payload["x"] == OLDER_EXISTS
+        assert edge_drafts[0].payload["p"] == {"w": 5}
+        assert edge_drafts[0].payload["et"] == "T"
+        # ... plus one VE record per endpoint.
+        topo_drafts = by_segment[hk.SEGMENT_TOPOLOGY]
+        assert sorted(d.gid for d in topo_drafts) == sorted([a, b])
+        assert any("oa" in d.payload for d in topo_drafts)
+        assert any("ia" in d.payload for d in topo_drafts)
+
+    def test_payload_roundtrip(self):
+        storage = GraphStorage()
+        txn = storage.manager.begin()
+        gid = storage.create_vertex(txn, [], {"x": 1})
+        storage.manager.commit(txn)
+        deltas = _deltas_of(
+            storage, lambda t: storage.set_vertex_property(t, gid, "x", 2)
+        )
+        draft = merge_transaction_deltas(deltas)[0]
+        assert decode_payload(draft.encode_payload()) == draft.payload
+
+
+class TestAnchorPolicy:
+    def test_interval_counting(self):
+        policy = AnchorPolicy(3)
+        hits = [policy.should_anchor("vertex", 1) for _ in range(7)]
+        assert hits == [False, False, True, False, False, True, False]
+
+    def test_objects_counted_independently(self):
+        policy = AnchorPolicy(2)
+        assert not policy.should_anchor("vertex", 1)
+        assert not policy.should_anchor("vertex", 2)
+        assert policy.should_anchor("vertex", 1)
+        assert policy.should_anchor("vertex", 2)
+
+    def test_zero_disables(self):
+        policy = AnchorPolicy(0)
+        assert not any(policy.should_anchor("vertex", 1) for _ in range(10))
+
+    def test_forget_resets(self):
+        policy = AnchorPolicy(2)
+        policy.should_anchor("vertex", 1)
+        policy.forget("vertex", 1)
+        assert not policy.should_anchor("vertex", 1)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            AnchorPolicy(-1)

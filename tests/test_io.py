@@ -1,0 +1,160 @@
+"""Import/export tests: JSONL, CSV, and the temporal history dump."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import AeonG
+from repro.errors import StorageError
+from repro.io import (
+    export_csv,
+    export_history_jsonl,
+    export_jsonl,
+    import_csv,
+    import_jsonl,
+)
+
+
+@pytest.fixture
+def sample_db():
+    db = AeonG(gc_interval_transactions=0)
+    with db.transaction() as txn:
+        a = db.create_vertex(txn, ["Person"], {"name": "Ann", "age": 30})
+        b = db.create_vertex(txn, ["Person", "Admin"], {"name": "Bob"})
+        c = db.create_vertex(txn, ["City"], {"name": "Oslo"})
+        db.create_edge(txn, a, b, "KNOWS", {"since": 2015})
+        db.create_edge(txn, a, c, "LIVES_IN")
+    return db
+
+
+def _graph_signature(db):
+    rows = db.execute(
+        "MATCH (n) RETURN labels(n) AS l, properties(n) AS p "
+        "ORDER BY l, p.name"
+    )
+    edges = db.execute(
+        "MATCH (a)-[r]->(b) RETURN type(r) AS t, a.name AS s, b.name AS d "
+        "ORDER BY t, s, d"
+    )
+    return rows, edges
+
+
+class TestJsonl:
+    def test_roundtrip(self, sample_db, tmp_path):
+        path = tmp_path / "graph.jsonl"
+        count = export_jsonl(sample_db, path)
+        assert count == 5
+        restored = AeonG(gc_interval_transactions=0)
+        mapping = import_jsonl(restored, path)
+        assert len(mapping) == 5
+        assert _graph_signature(restored) == _graph_signature(sample_db)
+
+    def test_vertices_precede_edges(self, sample_db, tmp_path):
+        path = tmp_path / "graph.jsonl"
+        export_jsonl(sample_db, path)
+        kinds = [json.loads(line)["kind"] for line in path.read_text().splitlines()]
+        assert kinds.index("edge") > kinds.index("vertex")
+        first_edge = kinds.index("edge")
+        assert all(kind == "vertex" for kind in kinds[:first_edge])
+
+    def test_dangling_edge_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"kind": "edge", "id": 1, "type": "T", "from": 7, "to": 8})
+            + "\n"
+        )
+        db = AeonG(gc_interval_transactions=0)
+        with pytest.raises(StorageError):
+            import_jsonl(db, path)
+        # Failed import rolled back: nothing half-loaded.
+        assert db.execute("MATCH (n) RETURN count(*) AS c") == [{"c": 0}]
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"kind": "hyperedge", "id": 1}) + "\n")
+        with pytest.raises(StorageError):
+            import_jsonl(AeonG(gc_interval_transactions=0), path)
+
+    def test_import_into_caller_transaction(self, sample_db, tmp_path):
+        path = tmp_path / "graph.jsonl"
+        export_jsonl(sample_db, path)
+        db = AeonG(gc_interval_transactions=0)
+        txn = db.begin()
+        import_jsonl(db, path, txn=txn)
+        db.abort(txn)  # caller decides: roll the whole import back
+        assert db.execute("MATCH (n) RETURN count(*) AS c") == [{"c": 0}]
+
+
+class TestHistoryDump:
+    def test_every_version_dumped(self, sample_db, tmp_path):
+        db = sample_db
+        with db.transaction() as txn:
+            ann = next(
+                v for v in db.iter_vertices(txn) if v.properties.get("name") == "Ann"
+            )
+        for age in (31, 32):
+            with db.transaction() as txn:
+                db.set_vertex_property(txn, ann.gid, "age", age)
+        db.collect_garbage()
+        path = tmp_path / "history.jsonl"
+        count = export_history_jsonl(db, path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert count == len(lines)
+        ann_versions = [
+            line
+            for line in lines
+            if line["kind"] == "vertex" and line["properties"].get("name") == "Ann"
+        ]
+        assert [v["properties"]["age"] for v in ann_versions] == [32, 31, 30]
+        # Exactly one open (current) version.
+        assert sum(1 for v in ann_versions if v["tt"][1] is None) == 1
+        # Intervals chain without gaps.
+        ordered = sorted(ann_versions, key=lambda v: v["tt"][0])
+        for earlier, later in zip(ordered, ordered[1:]):
+            assert earlier["tt"][1] == later["tt"][0]
+
+    def test_dump_includes_reclaimed_objects(self, sample_db, tmp_path):
+        db = sample_db
+        with db.transaction() as txn:
+            bob = next(
+                v for v in db.iter_vertices(txn) if v.properties.get("name") == "Bob"
+            )
+        with db.transaction() as txn:
+            db.delete_vertex(txn, bob.gid)
+        db.collect_garbage()
+        assert db.storage.vertex_record(bob.gid) is None
+        path = tmp_path / "history.jsonl"
+        export_history_jsonl(db, path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert any(
+            line["properties"].get("name") == "Bob" for line in lines
+        )
+
+
+class TestCsv:
+    def test_roundtrip(self, sample_db, tmp_path):
+        vertices, edges = export_csv(sample_db, tmp_path / "csv")
+        assert (vertices, edges) == (3, 2)
+        restored = AeonG(gc_interval_transactions=0)
+        mapping = import_csv(restored, tmp_path / "csv")
+        assert len(mapping) == 5
+        assert _graph_signature(restored) == _graph_signature(sample_db)
+
+    def test_multi_label_preserved(self, sample_db, tmp_path):
+        export_csv(sample_db, tmp_path / "csv")
+        restored = AeonG(gc_interval_transactions=0)
+        import_csv(restored, tmp_path / "csv")
+        rows = restored.execute(
+            "MATCH (n:Admin) RETURN n.name, labels(n) AS l"
+        )
+        assert rows == [{"n.name": "Bob", "l": ["Admin", "Person"]}]
+
+    def test_bytes_properties_hex_encoded(self, tmp_path):
+        db = AeonG(gc_interval_transactions=0)
+        with db.transaction() as txn:
+            db.create_vertex(txn, ["Blob"], {"data": b"\x01\x02"})
+        export_jsonl(db, tmp_path / "g.jsonl")
+        line = json.loads((tmp_path / "g.jsonl").read_text())
+        assert line["properties"]["data"] == "0102"

@@ -1,0 +1,137 @@
+"""Exact-answer tests for the IS workload queries on a hand-built
+graph (the agreement tests check systems against each other; these
+check them against the ground truth)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import AeonGBackend, ClockGBackend, TGQLBackend
+from repro.baselines.interface import ADD_EDGE, ADD_VERTEX, DELETE_EDGE, GraphOp, UPDATE_VERTEX
+from repro.workloads import queries as q
+
+#: The tiny ground-truth social network, event time in comments.
+OPS = [
+    GraphOp(ADD_VERTEX, 1, "place:0", label="Place",
+            properties={"name": "Oslo", "type": "city"}),
+    GraphOp(ADD_VERTEX, 2, "person:1", label="Person", properties={
+        "firstName": "Ada", "lastName": "L", "birthday": 19701001,
+        "browserUsed": "Firefox", "locationIP": "1.1.1.1", "gender": "female",
+        "creationDate": 2}),
+    GraphOp(ADD_VERTEX, 3, "person:2", label="Person", properties={
+        "firstName": "Bo", "lastName": "K", "birthday": 19800101,
+        "browserUsed": "Chrome", "locationIP": "2.2.2.2", "gender": "male",
+        "creationDate": 3}),
+    GraphOp(ADD_EDGE, 4, "e:loc", label="IS_LOCATED_IN",
+            src="person:1", dst="place:0"),
+    GraphOp(ADD_EDGE, 5, "e:knows", label="KNOWS", src="person:1",
+            dst="person:2", properties={"creationDate": 5}),
+    GraphOp(ADD_VERTEX, 6, "post:1", label="Post", properties={
+        "content": "hello graphs", "length": 12, "creationDate": 6}),
+    GraphOp(ADD_EDGE, 7, "e:creator", label="HAS_CREATOR",
+            src="post:1", dst="person:1"),
+    GraphOp(ADD_VERTEX, 8, "comment:1", label="Comment", properties={
+        "content": "nice post", "length": 9, "creationDate": 8}),
+    GraphOp(ADD_EDGE, 9, "e:reply", label="REPLY_OF",
+            src="comment:1", dst="post:1"),
+    GraphOp(ADD_EDGE, 10, "e:ccreator", label="HAS_CREATOR",
+            src="comment:1", dst="person:2"),
+    # Evolution: Ada switches browser at 11; friendship ends at 12.
+    GraphOp(UPDATE_VERTEX, 11, "person:1", prop="browserUsed", value="Opera"),
+    GraphOp(DELETE_EDGE, 12, "e:knows"),
+]
+
+FACTORIES = [
+    lambda: AeonGBackend(gc_interval_transactions=5),
+    lambda: TGQLBackend(),
+    lambda: ClockGBackend(snapshot_interval=4),
+]
+IDS = ["aeong", "tgql", "clockg"]
+
+
+@pytest.fixture(params=FACTORIES, ids=IDS)
+def backend(request):
+    backend = request.param()
+    for op in OPS:
+        backend.apply(op)
+    backend.flush()
+    return backend
+
+
+class TestIS1:
+    def test_profile_early(self, backend):
+        t = backend.to_query_time(10)
+        result = q.is1_profile(backend, "person:1", t)
+        assert result.rows == (
+            {
+                "firstName": "Ada",
+                "lastName": "L",
+                "birthday": 19701001,
+                "locationIP": "1.1.1.1",
+                "browserUsed": "Firefox",
+                "gender": "female",
+                "city": "Oslo",
+            },
+        )
+
+    def test_profile_after_update(self, backend):
+        t = backend.to_query_time(12)
+        result = q.is1_profile(backend, "person:1", t)
+        assert result.rows[0]["browserUsed"] == "Opera"
+
+    def test_profile_before_creation(self, backend):
+        t = backend.to_query_time(1)
+        assert q.is1_profile(backend, "person:1", t).rows == ()
+
+
+class TestIS3:
+    def test_friends_while_connected(self, backend):
+        t = backend.to_query_time(10)
+        result = q.is3_friends(backend, "person:1", t)
+        assert [row["friend"] for row in result.rows] == ["person:2"]
+        assert result.rows[0]["friendshipDate"] == 5
+
+    def test_friends_after_unfriending(self, backend):
+        t = backend.to_query_time(12)
+        assert q.is3_friends(backend, "person:1", t).rows == ()
+
+    def test_friends_slice_spans_the_breakup(self, backend):
+        t1 = backend.to_query_time(10)
+        t2 = backend.to_query_time(12)
+        result = q.is3_friends(backend, "person:1", t1, t2)
+        assert [row["friend"] for row in result.rows] == ["person:2"]
+
+
+class TestIS4:
+    def test_message_content(self, backend):
+        t = backend.to_query_time(9)
+        result = q.is4_message(backend, "post:1", t)
+        assert result.rows == (
+            {"content": "hello graphs", "creationDate": 6, "length": 12},
+        )
+
+
+class TestIS5:
+    def test_creator(self, backend):
+        t = backend.to_query_time(9)
+        result = q.is5_creator(backend, "post:1", t)
+        assert [row["person"] for row in result.rows] == ["person:1"]
+        assert result.rows[0]["firstName"] == "Ada"
+
+
+class TestIS7:
+    def test_replies_with_authors(self, backend):
+        t = backend.to_query_time(10)
+        result = q.is7_replies(backend, "post:1", t)
+        assert result.rows == (
+            {
+                "comment": "comment:1",
+                "content": "nice post",
+                "author": "person:2",
+                "authorFirstName": "Bo",
+            },
+        )
+
+    def test_no_replies_before_comment(self, backend):
+        t = backend.to_query_time(7)
+        assert q.is7_replies(backend, "post:1", t).rows == ()

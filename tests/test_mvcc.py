@@ -1,0 +1,298 @@
+"""MVCC substrate tests: oracle, snapshot isolation, conflicts, GC."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    SerializationConflict,
+    TransactionStateError,
+    VertexNotFound,
+)
+from repro.graph import GraphStorage
+from repro.mvcc.gc import GarbageCollector
+from repro.mvcc.timestamps import TimestampOracle
+from repro.mvcc.transaction import CommitStatus
+
+
+class TestOracle:
+    def test_monotone(self):
+        oracle = TimestampOracle()
+        values = [oracle.next() for _ in range(100)]
+        assert values == sorted(values)
+        assert len(set(values)) == 100
+
+    def test_peek_does_not_consume(self):
+        oracle = TimestampOracle()
+        assert oracle.peek() == oracle.next()
+
+    def test_advance_to(self):
+        oracle = TimestampOracle()
+        oracle.advance_to(500)
+        assert oracle.next() == 500
+
+    def test_rejects_bad_start(self):
+        with pytest.raises(ValueError):
+            TimestampOracle(start=0)
+
+
+class TestSnapshotIsolation:
+    def test_reader_does_not_see_uncommitted(self):
+        storage = GraphStorage()
+        writer = storage.manager.begin()
+        gid = storage.create_vertex(writer, ["L"], {"x": 1})
+        reader = storage.manager.begin()
+        assert storage.get_vertex(reader, gid) is None
+        storage.manager.commit(writer)
+        # Snapshot taken before commit still excludes it.
+        assert storage.get_vertex(reader, gid) is None
+        late = storage.manager.begin()
+        assert storage.get_vertex(late, gid).properties == {"x": 1}
+
+    def test_writer_sees_own_changes(self):
+        storage = GraphStorage()
+        txn = storage.manager.begin()
+        gid = storage.create_vertex(txn, ["L"], {"x": 1})
+        storage.set_vertex_property(txn, gid, "x", 2)
+        assert storage.get_vertex(txn, gid).properties == {"x": 2}
+
+    def test_repeatable_reads(self):
+        storage = GraphStorage()
+        setup = storage.manager.begin()
+        gid = storage.create_vertex(setup, ["L"], {"x": 1})
+        storage.manager.commit(setup)
+        reader = storage.manager.begin()
+        assert storage.get_vertex(reader, gid).properties["x"] == 1
+        writer = storage.manager.begin()
+        storage.set_vertex_property(writer, gid, "x", 2)
+        storage.manager.commit(writer)
+        assert storage.get_vertex(reader, gid).properties["x"] == 1
+
+    def test_delete_visibility(self):
+        storage = GraphStorage()
+        setup = storage.manager.begin()
+        gid = storage.create_vertex(setup, ["L"])
+        storage.manager.commit(setup)
+        reader = storage.manager.begin()
+        deleter = storage.manager.begin()
+        storage.delete_vertex(deleter, gid)
+        storage.manager.commit(deleter)
+        assert storage.get_vertex(reader, gid) is not None
+        late = storage.manager.begin()
+        assert storage.get_vertex(late, gid) is None
+
+
+class TestConflicts:
+    def _setup(self):
+        storage = GraphStorage()
+        txn = storage.manager.begin()
+        gid = storage.create_vertex(txn, ["L"], {"x": 0})
+        storage.manager.commit(txn)
+        return storage, gid
+
+    def test_write_write_conflict_with_active(self):
+        storage, gid = self._setup()
+        t1 = storage.manager.begin()
+        t2 = storage.manager.begin()
+        storage.set_vertex_property(t1, gid, "x", 1)
+        with pytest.raises(SerializationConflict):
+            storage.set_vertex_property(t2, gid, "x", 2)
+
+    def test_first_updater_wins_after_commit(self):
+        storage, gid = self._setup()
+        t2 = storage.manager.begin()  # snapshot before t1 commits
+        t1 = storage.manager.begin()
+        storage.set_vertex_property(t1, gid, "x", 1)
+        storage.manager.commit(t1)
+        with pytest.raises(SerializationConflict):
+            storage.set_vertex_property(t2, gid, "x", 2)
+
+    def test_sequential_writes_do_not_conflict(self):
+        storage, gid = self._setup()
+        t1 = storage.manager.begin()
+        storage.set_vertex_property(t1, gid, "x", 1)
+        storage.manager.commit(t1)
+        t2 = storage.manager.begin()
+        storage.set_vertex_property(t2, gid, "x", 2)
+        storage.manager.commit(t2)
+        check = storage.manager.begin()
+        assert storage.get_vertex(check, gid).properties["x"] == 2
+
+    def test_same_transaction_multiple_writes_ok(self):
+        storage, gid = self._setup()
+        txn = storage.manager.begin()
+        storage.set_vertex_property(txn, gid, "x", 1)
+        storage.set_vertex_property(txn, gid, "x", 2)
+        storage.add_label(txn, gid, "M")
+        storage.manager.commit(txn)
+
+
+class TestAbort:
+    def test_abort_rolls_back_properties(self):
+        storage = GraphStorage()
+        setup = storage.manager.begin()
+        gid = storage.create_vertex(setup, ["L"], {"x": 1, "y": "keep"})
+        storage.manager.commit(setup)
+        txn = storage.manager.begin()
+        storage.set_vertex_property(txn, gid, "x", 99)
+        storage.set_vertex_property(txn, gid, "y", None)
+        storage.add_label(txn, gid, "New")
+        storage.manager.abort(txn)
+        check = storage.manager.begin()
+        view = storage.get_vertex(check, gid)
+        assert view.properties == {"x": 1, "y": "keep"}
+        assert view.labels == {"L"}
+
+    def test_abort_rolls_back_creation(self):
+        storage = GraphStorage()
+        txn = storage.manager.begin()
+        gid = storage.create_vertex(txn, ["L"])
+        storage.manager.abort(txn)
+        check = storage.manager.begin()
+        assert storage.get_vertex(check, gid) is None
+
+    def test_abort_rolls_back_edges(self):
+        storage = GraphStorage()
+        setup = storage.manager.begin()
+        a = storage.create_vertex(setup, ["L"])
+        b = storage.create_vertex(setup, ["L"])
+        storage.manager.commit(setup)
+        txn = storage.manager.begin()
+        storage.create_edge(txn, a, b, "T")
+        storage.manager.abort(txn)
+        check = storage.manager.begin()
+        assert storage.get_vertex(check, a).out_edges == []
+        assert storage.get_vertex(check, b).in_edges == []
+
+    def test_finished_transaction_rejects_operations(self):
+        storage = GraphStorage()
+        txn = storage.manager.begin()
+        storage.manager.commit(txn)
+        with pytest.raises(TransactionStateError):
+            storage.create_vertex(txn, ["L"])
+        with pytest.raises(TransactionStateError):
+            storage.manager.commit(txn)
+
+    def test_abort_then_new_transaction_can_write(self):
+        storage = GraphStorage()
+        setup = storage.manager.begin()
+        gid = storage.create_vertex(setup, ["L"], {"x": 1})
+        storage.manager.commit(setup)
+        t1 = storage.manager.begin()
+        storage.set_vertex_property(t1, gid, "x", 2)
+        storage.manager.abort(t1)
+        t2 = storage.manager.begin()
+        storage.set_vertex_property(t2, gid, "x", 3)
+        storage.manager.commit(t2)
+        check = storage.manager.begin()
+        assert storage.get_vertex(check, gid).properties["x"] == 3
+
+
+class TestTransactionTimeAssignment:
+    def test_commit_stamps_tt(self):
+        storage = GraphStorage()
+        txn = storage.manager.begin()
+        gid = storage.create_vertex(txn, ["L"])
+        commit_ts = storage.manager.commit(txn)
+        record = storage.vertex_record(gid)
+        assert record.tt_start == commit_ts
+
+    def test_update_closes_old_interval(self):
+        storage = GraphStorage()
+        t1 = storage.manager.begin()
+        gid = storage.create_vertex(t1, ["L"], {"x": 1})
+        c1 = storage.manager.commit(t1)
+        t2 = storage.manager.begin()
+        storage.set_vertex_property(t2, gid, "x", 2)
+        c2 = storage.manager.commit(t2)
+        record = storage.vertex_record(gid)
+        assert record.tt_start == c2
+        delta = record.delta_head
+        assert delta.tt_start == c1 and delta.tt_end == c2
+
+    def test_structural_tt_is_separate(self):
+        storage = GraphStorage()
+        t1 = storage.manager.begin()
+        a = storage.create_vertex(t1, ["L"])
+        b = storage.create_vertex(t1, ["L"])
+        c1 = storage.manager.commit(t1)
+        t2 = storage.manager.begin()
+        storage.create_edge(t2, a, b, "T")
+        c2 = storage.manager.commit(t2)
+        record = storage.vertex_record(a)
+        assert record.tt_start == c1  # content untouched
+        assert record.tt_structure_start == c2
+
+
+class TestGarbageCollection:
+    def _history(self, storage):
+        txn = storage.manager.begin()
+        gid = storage.create_vertex(txn, ["L"], {"x": 0})
+        storage.manager.commit(txn)
+        for value in range(1, 4):
+            txn = storage.manager.begin()
+            storage.set_vertex_property(txn, gid, "x", value)
+            storage.manager.commit(txn)
+        return gid
+
+    def test_collect_truncates_chains(self):
+        storage = GraphStorage()
+        gid = self._history(storage)
+        gc = GarbageCollector(storage.manager)
+        reclaimed = gc.collect()
+        assert reclaimed > 0
+        assert storage.vertex_record(gid).delta_head is None
+
+    def test_collect_respects_active_snapshots(self):
+        storage = GraphStorage()
+        gid = self._history(storage)
+        reader = storage.manager.begin()  # pins everything after it
+        txn = storage.manager.begin()
+        storage.set_vertex_property(txn, gid, "x", 99)
+        storage.manager.commit(txn)
+        gc = GarbageCollector(storage.manager)
+        gc.collect()
+        # The new version's delta must survive: reader predates it.
+        assert storage.vertex_record(gid).delta_head is not None
+        assert storage.get_vertex(reader, gid).properties["x"] == 3
+
+    def test_migrate_hook_receives_buffers(self):
+        storage = GraphStorage()
+        self._history(storage)
+        seen = []
+        gc = GarbageCollector(
+            storage.manager, migrate_hook=lambda txns: seen.extend(txns)
+        )
+        gc.collect()
+        assert len(seen) == 4  # create + 3 updates
+        assert all(t.status == CommitStatus.COMMITTED for t in seen)
+
+    def test_deleted_object_dropped_after_reclaim(self):
+        storage = GraphStorage()
+        gid = self._history(storage)
+        txn = storage.manager.begin()
+        storage.delete_vertex(txn, gid)
+        storage.manager.commit(txn)
+        gc = GarbageCollector(
+            storage.manager, reclaim_object_hook=storage.drop_record
+        )
+        gc.collect()
+        assert storage.vertex_record(gid) is None
+        check = storage.manager.begin()
+        with pytest.raises(VertexNotFound):
+            storage.set_vertex_property(check, gid, "x", 1)
+
+    def test_collect_idempotent_when_nothing_to_do(self):
+        storage = GraphStorage()
+        gc = GarbageCollector(storage.manager)
+        assert gc.collect() == 0
+        assert gc.collect() == 0
+
+    def test_read_only_transactions_produce_no_garbage(self):
+        storage = GraphStorage()
+        gid = self._history(storage)
+        for _ in range(5):
+            txn = storage.manager.begin()
+            storage.get_vertex(txn, gid)
+            storage.manager.commit(txn)
+        assert len(storage.manager.committed_pending_gc) == 4

@@ -1,0 +1,94 @@
+"""Property-based round trips through the whole stack: values written
+through the API or the query language must come back identical, now
+and historically."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import AeonG, TemporalCondition
+
+_values = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+    st.lists(st.integers(-100, 100), max_size=5),
+)
+
+_props = st.dictionaries(
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+        min_size=1,
+        max_size=8,
+    ).filter(lambda s: not s[0].isdigit() and not s.startswith("_tt")),
+    _values,
+    min_size=1,
+    max_size=6,
+)
+
+
+@given(_props)
+@settings(max_examples=60, deadline=None)
+def test_api_roundtrip_current(props):
+    db = AeonG(gc_interval_transactions=0)
+    with db.transaction() as txn:
+        gid = db.create_vertex(txn, ["T"], props)
+    with db.transaction() as txn:
+        assert db.get_vertex(txn, gid).properties == props
+
+
+@given(_props, _props)
+@settings(max_examples=40, deadline=None)
+def test_api_roundtrip_historical(old_props, new_props):
+    """The pre-update property map survives update + GC, exactly."""
+    db = AeonG(anchor_interval=2, gc_interval_transactions=0)
+    with db.transaction() as txn:
+        gid = db.create_vertex(txn, ["T"], old_props)
+    t_old = db.now()
+    with db.transaction() as txn:
+        # Replace the map wholesale: remove what's gone, set the rest.
+        for name in old_props:
+            if name not in new_props:
+                db.set_vertex_property(txn, gid, name, None)
+        for name, value in new_props.items():
+            db.set_vertex_property(txn, gid, name, value)
+    db.collect_garbage()
+    with db.transaction() as txn:
+        view = next(db.vertex_versions(txn, gid, TemporalCondition.as_of(t_old - 1)))
+        assert view.properties == old_props
+        current = db.get_vertex(txn, gid)
+        assert current.properties == new_props
+
+
+@given(_values)
+@settings(max_examples=60, deadline=None)
+def test_query_language_parameter_roundtrip(value):
+    db = AeonG(gc_interval_transactions=0)
+    db.execute("CREATE (n:T {payload: $v})", {"v": value})
+    rows = db.execute("MATCH (n:T) RETURN n.payload AS out")
+    assert rows == [{"out": value}]
+
+
+@given(st.lists(st.integers(0, 50), min_size=1, max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_slice_version_count_matches_distinct_writes(values):
+    """A full-history slice returns exactly one version per *effective*
+    write (consecutive duplicates are no-ops)."""
+    db = AeonG(anchor_interval=3, gc_interval_transactions=0)
+    with db.transaction() as txn:
+        gid = db.create_vertex(txn, ["T"], {"v": values[0]})
+    effective = 1
+    last = values[0]
+    for value in values[1:]:
+        with db.transaction() as txn:
+            db.set_vertex_property(txn, gid, "v", value)
+        if value != last:
+            effective += 1
+            last = value
+    db.collect_garbage()
+    with db.transaction() as txn:
+        versions = list(
+            db.vertex_versions(txn, gid, TemporalCondition.between(0, db.now()))
+        )
+    assert len(versions) == effective

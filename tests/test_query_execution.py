@@ -1,0 +1,296 @@
+"""Query-execution tests: planning, operators, projection, writes,
+temporal clauses — through the public ``AeonG.execute`` surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AeonG
+from repro.errors import ExecutionError, PlanningError, QueryError
+
+
+@pytest.fixture
+def db():
+    db = AeonG(gc_interval_transactions=0)
+    db.execute("CREATE (n:Person {name: 'Ann', age: 30, city: 'Oslo'})")
+    db.execute("CREATE (n:Person {name: 'Bob', age: 25, city: 'Lima'})")
+    db.execute("CREATE (n:Person {name: 'Cid', age: 41, city: 'Oslo'})")
+    db.execute("CREATE (n:Film {title: 'Heat'})")
+    db.execute(
+        "MATCH (a:Person {name:'Ann'}), (b:Person {name:'Bob'}) "
+        "CREATE (a)-[:KNOWS {since: 2015}]->(b)"
+    )
+    db.execute(
+        "MATCH (a:Person {name:'Bob'}), (b:Person {name:'Cid'}) "
+        "CREATE (a)-[:KNOWS {since: 2018}]->(b)"
+    )
+    db.execute(
+        "MATCH (a:Person {name:'Ann'}), (f:Film {title:'Heat'}) "
+        "CREATE (a)-[:LIKES]->(f)"
+    )
+    return db
+
+
+class TestReadQueries:
+    def test_scan_with_filter(self, db):
+        rows = db.execute(
+            "MATCH (n:Person) WHERE n.age > 28 RETURN n.name ORDER BY n.name"
+        )
+        assert rows == [{"n.name": "Ann"}, {"n.name": "Cid"}]
+
+    def test_property_map_filter(self, db):
+        rows = db.execute("MATCH (n:Person {city: 'Oslo'}) RETURN count(*) AS c")
+        assert rows == [{"c": 2}]
+
+    def test_expand_out(self, db):
+        rows = db.execute(
+            "MATCH (a:Person {name:'Ann'})-[r:KNOWS]->(b) RETURN b.name, r.since"
+        )
+        assert rows == [{"b.name": "Bob", "r.since": 2015}]
+
+    def test_expand_in(self, db):
+        rows = db.execute(
+            "MATCH (a:Person {name:'Cid'})<-[r:KNOWS]-(b) RETURN b.name"
+        )
+        assert rows == [{"b.name": "Bob"}]
+
+    def test_expand_both(self, db):
+        rows = db.execute(
+            "MATCH (a:Person {name:'Bob'})-[r:KNOWS]-(b) "
+            "RETURN b.name ORDER BY b.name"
+        )
+        assert rows == [{"b.name": "Ann"}, {"b.name": "Cid"}]
+
+    def test_two_hops(self, db):
+        rows = db.execute(
+            "MATCH (a:Person {name:'Ann'})-[:KNOWS]->()-[:KNOWS]->(c) RETURN c.name"
+        )
+        assert rows == [{"c.name": "Cid"}]
+
+    def test_rel_type_alternatives(self, db):
+        rows = db.execute(
+            "MATCH (a:Person {name:'Ann'})-[r:KNOWS|LIKES]->(x) "
+            "RETURN count(*) AS c"
+        )
+        assert rows == [{"c": 2}]
+
+    def test_rel_property_filter(self, db):
+        rows = db.execute(
+            "MATCH (a)-[r:KNOWS {since: 2018}]->(b) RETURN a.name, b.name"
+        )
+        assert rows == [{"a.name": "Bob", "b.name": "Cid"}]
+
+    def test_join_on_shared_variable(self, db):
+        rows = db.execute(
+            "MATCH (a:Person {name:'Ann'})-[:KNOWS]->(b), (b)-[:KNOWS]->(c) "
+            "RETURN c.name"
+        )
+        assert rows == [{"c.name": "Cid"}]
+
+    def test_return_whole_vertex(self, db):
+        rows = db.execute("MATCH (n:Film) RETURN n")
+        assert rows[0]["n"]["labels"] == ["Film"]
+        assert rows[0]["n"]["properties"] == {"title": "Heat"}
+
+    def test_functions(self, db):
+        rows = db.execute(
+            "MATCH (n:Person {name:'Ann'})-[r:LIKES]->(f) "
+            "RETURN labels(f) AS l, type(r) AS t, id(n) >= 0 AS has_id"
+        )
+        assert rows == [{"l": ["Film"], "t": "LIKES", "has_id": True}]
+
+    def test_order_skip_limit(self, db):
+        rows = db.execute(
+            "MATCH (n:Person) RETURN n.age AS age ORDER BY age DESC SKIP 1 LIMIT 1"
+        )
+        assert rows == [{"age": 30}]
+
+    def test_distinct(self, db):
+        rows = db.execute("MATCH (n:Person) RETURN DISTINCT n.city AS c ORDER BY c")
+        assert rows == [{"c": "Lima"}, {"c": "Oslo"}]
+
+    def test_aggregates_with_grouping(self, db):
+        rows = db.execute(
+            "MATCH (n:Person) RETURN n.city AS city, count(*) AS c, "
+            "min(n.age) AS young ORDER BY city"
+        )
+        assert rows == [
+            {"city": "Lima", "c": 1, "young": 25},
+            {"city": "Oslo", "c": 2, "young": 30},
+        ]
+
+    def test_aggregate_over_empty_stream(self, db):
+        rows = db.execute("MATCH (n:Robot) RETURN count(*) AS c")
+        assert rows == [{"c": 0}]
+
+    def test_collect_and_avg(self, db):
+        rows = db.execute(
+            "MATCH (n:Person) RETURN avg(n.age) AS a, collect(n.name) AS names"
+        )
+        assert rows[0]["a"] == pytest.approx(32.0)
+        assert sorted(rows[0]["names"]) == ["Ann", "Bob", "Cid"]
+
+    def test_optional_match_fills_nulls(self, db):
+        rows = db.execute(
+            "MATCH (n:Person {name:'Cid'}) "
+            "OPTIONAL MATCH (n)-[:LIKES]->(f) RETURN n.name, f"
+        )
+        assert rows == [{"n.name": "Cid", "f": None}]
+
+    def test_optional_match_passes_through_results(self, db):
+        rows = db.execute(
+            "MATCH (n:Person {name:'Ann'}) "
+            "OPTIONAL MATCH (n)-[:LIKES]->(f) RETURN f.title"
+        )
+        assert rows == [{"f.title": "Heat"}]
+
+    def test_parameters(self, db):
+        rows = db.execute(
+            "MATCH (n:Person {name: $name}) RETURN n.age", {"name": "Bob"}
+        )
+        assert rows == [{"n.age": 25}]
+
+    def test_missing_parameter_raises(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("MATCH (n:Person {name: $name}) RETURN n")
+
+    def test_in_and_null_predicates(self, db):
+        rows = db.execute(
+            "MATCH (n:Person) WHERE n.city IN ['Oslo'] AND n.salary IS NULL "
+            "RETURN count(*) AS c"
+        )
+        assert rows == [{"c": 2}]
+
+    def test_indexed_plan_uses_index(self, db):
+        db.create_label_property_index("Person", "name")
+        rows = db.execute("MATCH (n:Person {name:'Ann'}) RETURN n.age")
+        assert rows == [{"n.age": 30}]
+
+
+class TestWriteQueries:
+    def test_create_and_read_back(self, db):
+        db.execute("CREATE (n:Person {name: 'Eve', age: 1})")
+        rows = db.execute("MATCH (n:Person) RETURN count(*) AS c")
+        assert rows == [{"c": 4}]
+
+    def test_set_updates(self, db):
+        db.execute("MATCH (n:Person {name:'Ann'}) SET n.age = 31, n.vip = true")
+        rows = db.execute("MATCH (n:Person {name:'Ann'}) RETURN n.age, n.vip")
+        assert rows == [{"n.age": 31, "n.vip": True}]
+
+    def test_set_null_removes(self, db):
+        db.execute("MATCH (n:Person {name:'Ann'}) SET n.city = null")
+        rows = db.execute("MATCH (n:Person {name:'Ann'}) RETURN n.city")
+        assert rows == [{"n.city": None}]
+
+    def test_delete_edge(self, db):
+        db.execute("MATCH (a)-[r:LIKES]->(b) DELETE r")
+        rows = db.execute("MATCH (a)-[r:LIKES]->(b) RETURN count(*) AS c")
+        assert rows == [{"c": 0}]
+
+    def test_detach_delete_vertex(self, db):
+        db.execute("MATCH (n:Person {name:'Bob'}) DETACH DELETE n")
+        rows = db.execute("MATCH (a)-[r:KNOWS]->(b) RETURN count(*) AS c")
+        assert rows == [{"c": 0}]
+
+    def test_create_edge_between_matched(self, db):
+        db.execute(
+            "MATCH (a:Person {name:'Cid'}), (f:Film) CREATE (a)-[:LIKES]->(f)"
+        )
+        rows = db.execute("MATCH (:Person)-[r:LIKES]->(:Film) RETURN count(*) AS c")
+        assert rows == [{"c": 2}]
+
+    def test_create_edge_unbound_endpoint_rejected(self, db):
+        with pytest.raises(PlanningError):
+            db.execute("CREATE (a)-[:T]->(b)")
+
+    def test_set_unbound_rejected(self, db):
+        with pytest.raises(PlanningError):
+            db.execute("SET n.x = 1")
+
+    def test_write_query_runs_in_caller_transaction(self, db):
+        txn = db.begin()
+        db.execute("CREATE (n:Temp {x: 1})", txn=txn)
+        rows = db.execute("MATCH (n:Temp) RETURN count(*) AS c")
+        assert rows == [{"c": 0}]  # not visible: txn uncommitted
+        db.commit(txn)
+        rows = db.execute("MATCH (n:Temp) RETURN count(*) AS c")
+        assert rows == [{"c": 1}]
+
+
+class TestTemporalQueries:
+    def test_snapshot_and_between(self, db):
+        t0 = db.now()
+        db.execute("MATCH (n:Person {name:'Ann'}) SET n.age = 99")
+        rows = db.execute(f"MATCH (n:Person {{name:'Ann'}}) TT SNAPSHOT {t0 - 1} RETURN n.age")
+        assert rows == [{"n.age": 30}]
+        rows = db.execute(
+            f"MATCH (n:Person {{name:'Ann'}}) TT BETWEEN 0 AND {db.now()} "
+            "RETURN n.age ORDER BY n.age"
+        )
+        assert rows == [{"n.age": 30}, {"n.age": 99}]
+
+    def test_snapshot_expand(self, db):
+        t0 = db.now()
+        db.execute("MATCH (a)-[r:KNOWS {since: 2015}]->(b) DELETE r")
+        rows = db.execute(
+            f"MATCH (a:Person {{name:'Ann'}})-[r:KNOWS]->(b) TT SNAPSHOT {t0 - 1} "
+            "RETURN b.name"
+        )
+        assert rows == [{"b.name": "Bob"}]
+        rows = db.execute(
+            "MATCH (a:Person {name:'Ann'})-[r:KNOWS]->(b) RETURN count(*) AS c"
+        )
+        assert rows == [{"c": 0}]
+
+    def test_snapshot_after_gc(self, db):
+        t0 = db.now()
+        db.execute("MATCH (n:Person {name:'Bob'}) SET n.age = 26")
+        db.collect_garbage()
+        rows = db.execute(
+            f"MATCH (n:Person {{name:'Bob'}}) TT SNAPSHOT {t0 - 1} RETURN n.age"
+        )
+        assert rows == [{"n.age": 25}]
+
+    def test_write_with_tt_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.execute("MATCH (n) TT SNAPSHOT 3 SET n.x = 1")
+
+    def test_tt_on_non_temporal_engine_rejected(self):
+        db = AeonG(temporal=False, gc_interval_transactions=0)
+        db.execute("CREATE (n:X)")
+        with pytest.raises(ExecutionError):
+            db.execute("MATCH (n:X) TT SNAPSHOT 1 RETURN n")
+
+    def test_tt_bounds_must_be_integers(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("MATCH (n) TT SNAPSHOT 'yesterday' RETURN n")
+
+    def test_valid_time_lifecycle(self, db):
+        db.execute("CREATE (n:Offer {code: 'SALE'}) VALID PERIOD(100, 200)")
+        assert db.execute(
+            "MATCH (n:Offer) WHERE n.VT CONTAINS 150 RETURN n.code"
+        ) == [{"n.code": "SALE"}]
+        assert db.execute(
+            "MATCH (n:Offer) WHERE n.VT CONTAINS 250 RETURN n.code"
+        ) == []
+        assert db.execute(
+            "MATCH (n:Offer) WHERE n.VT DURING PERIOD(50, 300) RETURN n.code"
+        ) == [{"n.code": "SALE"}]
+        assert db.execute(
+            "MATCH (n:Offer) WHERE n.VT BEFORE 500 RETURN n.code"
+        ) == [{"n.code": "SALE"}]
+
+    def test_paper_example_query(self, db):
+        """The paper's Example 2 shape: VT + TT combined."""
+        db.execute(
+            "CREATE (n:CreditCard {account: 'X1', balance: 270}) "
+            "VALID PERIOD(0, 9999)"
+        )
+        t_recorded = db.now()
+        db.execute("MATCH (n:CreditCard) SET n.balance = 200")
+        rows = db.execute(
+            "MATCH (n:CreditCard) WHERE n.VT CONTAINS 500 "
+            f"TT SNAPSHOT {t_recorded - 1} RETURN n.balance"
+        )
+        assert rows == [{"n.balance": 270}]

@@ -1,0 +1,278 @@
+"""Query-language tests: lexer, parser, VT translation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LexerError, ParseError
+from repro.query import ast
+from repro.query.lexer import TokenType, tokenize
+from repro.query.parser import parse
+from repro.query.translate import translate_query, translate_vt_predicate
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("match MATCH Match")
+        assert all(t.is_keyword("MATCH") for t in tokens[:-1])
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("myVar Person")
+        assert tokens[0].value == "myVar"
+        assert tokens[1].value == "Person"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.5 1e3 2E-2")
+        assert tokens[0].value == 42 and tokens[0].type == TokenType.INTEGER
+        assert tokens[1].value == 3.5 and tokens[1].type == TokenType.FLOAT
+        assert tokens[2].value == 1000.0
+        assert tokens[3].value == 0.02
+
+    def test_strings_and_escapes(self):
+        tokens = tokenize("'it\\'s' \"two\\nlines\"")
+        assert tokens[0].value == "it's"
+        assert tokens[1].value == "two\nlines"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_parameters(self):
+        tokens = tokenize("$who $x1")
+        assert tokens[0].type == TokenType.PARAMETER and tokens[0].value == "who"
+        assert tokens[1].value == "x1"
+
+    def test_empty_parameter_rejected(self):
+        with pytest.raises(LexerError):
+            tokenize("$ ")
+
+    def test_punctuation_doubles(self):
+        tokens = tokenize("<> <= >= -> <- !=")
+        assert [t.value for t in tokens[:-1]] == ["<>", "<=", ">=", "->", "<-", "<>"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("MATCH // a comment\n RETURN")
+        assert [t.value for t in tokens[:-1]] == ["MATCH", "RETURN"]
+
+    def test_backtick_identifiers(self):
+        tokens = tokenize("`weird name`")
+        assert tokens[0].value == "weird name"
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError):
+            tokenize("MATCH @")
+
+
+class TestParserPatterns:
+    def test_simple_match_return(self):
+        query = parse("MATCH (n:Person) RETURN n")
+        assert len(query.matches) == 1
+        node = query.matches[0].patterns[0].nodes[0]
+        assert node.variable == "n" and node.labels == ("Person",)
+
+    def test_property_map(self):
+        query = parse("MATCH (n:Person {id: 3, name: 'x'}) RETURN n")
+        node = query.matches[0].patterns[0].nodes[0]
+        assert dict(node.properties).keys() == {"id", "name"}
+
+    def test_relationship_directions(self):
+        out = parse("MATCH (a)-[r:T]->(b) RETURN a").matches[0].patterns[0]
+        assert out.rels[0].direction == "out"
+        inc = parse("MATCH (a)<-[r:T]-(b) RETURN a").matches[0].patterns[0]
+        assert inc.rels[0].direction == "in"
+        both = parse("MATCH (a)-[r:T]-(b) RETURN a").matches[0].patterns[0]
+        assert both.rels[0].direction == "both"
+
+    def test_multiple_rel_types(self):
+        query = parse("MATCH (a)-[r:A|B|C]->(b) RETURN a")
+        assert query.matches[0].patterns[0].rels[0].types == ("A", "B", "C")
+
+    def test_multi_hop_chain(self):
+        query = parse("MATCH (a)-[:X]->(b)<-[:Y]-(c) RETURN a")
+        pattern = query.matches[0].patterns[0]
+        assert len(pattern.nodes) == 3 and len(pattern.rels) == 2
+
+    def test_anonymous_relationship(self):
+        query = parse("MATCH (a)-->(b) RETURN a")
+        assert query.matches[0].patterns[0].rels[0].variable is None
+
+    def test_comma_separated_patterns(self):
+        query = parse("MATCH (a:X), (b:Y) RETURN a")
+        assert len(query.matches[0].patterns) == 2
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("MATCH (n) RETURN n extra")
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ParseError):
+            parse("   ")
+
+
+class TestParserClauses:
+    def test_tt_snapshot(self):
+        query = parse("MATCH (n) TT SNAPSHOT 42 RETURN n")
+        assert query.tt.kind == "snapshot"
+        assert query.tt.t1 == ast.Literal(42)
+
+    def test_for_tt_between(self):
+        query = parse("MATCH (n) FOR TT BETWEEN 1 AND 9 RETURN n")
+        assert query.tt.kind == "between"
+        assert (query.tt.t1, query.tt.t2) == (ast.Literal(1), ast.Literal(9))
+
+    def test_tt_with_where(self):
+        query = parse("MATCH (n) WHERE n.x = 1 TT SNAPSHOT 5 RETURN n")
+        assert query.where is not None and query.tt is not None
+
+    def test_create_node_with_valid_period(self):
+        query = parse("CREATE (n:Item {sku: 'X'}) VALID PERIOD(1, 9)")
+        item = query.creates[0].items[0]
+        assert isinstance(item, ast.CreateNode)
+        assert item.valid_time == ast.PeriodLiteral(ast.Literal(1), ast.Literal(9))
+
+    def test_create_edge_requires_bound_endpoints(self):
+        query = parse("MATCH (a), (b) CREATE (a)-[:T {w: 1}]->(b)")
+        item = query.creates[0].items[0]
+        assert isinstance(item, ast.CreateEdge)
+        assert (item.from_var, item.to_var) == ("a", "b")
+
+    def test_create_edge_reversed_arrow(self):
+        query = parse("MATCH (a), (b) CREATE (a)<-[:T]-(b)")
+        item = query.creates[0].items[0]
+        assert (item.from_var, item.to_var) == ("b", "a")
+
+    def test_create_undirected_edge_rejected(self):
+        with pytest.raises(ParseError):
+            parse("MATCH (a), (b) CREATE (a)-[:T]-(b)")
+
+    def test_set_clause(self):
+        query = parse("MATCH (n) SET n.x = 1, n.y = 'two'")
+        assert len(query.sets[0].items) == 2
+
+    def test_detach_delete(self):
+        query = parse("MATCH (n) DETACH DELETE n")
+        assert query.deletes[0].detach
+
+    def test_return_modifiers(self):
+        query = parse(
+            "MATCH (n) RETURN DISTINCT n.x AS x ORDER BY x DESC SKIP 2 LIMIT 5"
+        )
+        returns = query.returns
+        assert returns.distinct
+        assert returns.items[0].alias == "x"
+        assert returns.order_by[0].descending
+        assert returns.skip == ast.Literal(2)
+        assert returns.limit == ast.Literal(5)
+
+    def test_optional_match(self):
+        query = parse("MATCH (a) OPTIONAL MATCH (a)-[:T]->(b) RETURN a, b")
+        assert not query.matches[0].optional
+        assert query.matches[1].optional
+
+
+class TestParserExpressions:
+    def _where(self, text):
+        return parse(f"MATCH (n) WHERE {text} RETURN n").where.predicate
+
+    def test_precedence_and_or(self):
+        expr = self._where("n.a = 1 OR n.b = 2 AND n.c = 3")
+        assert isinstance(expr, ast.BooleanOp) and expr.op == "OR"
+        assert isinstance(expr.right, ast.BooleanOp) and expr.right.op == "AND"
+
+    def test_arithmetic_precedence(self):
+        expr = self._where("n.a = 1 + 2 * 3")
+        comparison = expr
+        assert isinstance(comparison.right, ast.Arithmetic)
+        assert comparison.right.op == "+"
+        assert comparison.right.right.op == "*"
+
+    def test_unary_minus(self):
+        expr = self._where("n.a = -5")
+        assert expr.right == ast.Literal(-5)
+
+    def test_is_null(self):
+        expr = self._where("n.a IS NULL")
+        assert isinstance(expr, ast.IsNull) and not expr.negated
+        expr = self._where("n.a IS NOT NULL")
+        assert expr.negated
+
+    def test_in_list(self):
+        expr = self._where("n.a IN [1, 2, 3]")
+        assert isinstance(expr, ast.InList) and len(expr.haystack) == 3
+
+    def test_function_calls(self):
+        expr = parse("MATCH (n) RETURN count(*), id(n)").returns
+        assert expr.items[0].expression.star
+        assert expr.items[1].expression.name == "id"
+
+    def test_vt_predicate_point(self):
+        expr = self._where("n.VT CONTAINS 15")
+        assert isinstance(expr, ast.VTPredicate)
+        assert expr.op == "CONTAINS" and expr.variable == "n"
+
+    def test_vt_predicate_period(self):
+        expr = self._where("n.VT OVERLAPS PERIOD(1, 9)")
+        assert isinstance(expr.argument, ast.PeriodLiteral)
+
+    def test_vt_requires_allen_operator(self):
+        with pytest.raises(ParseError):
+            parse("MATCH (n) WHERE n.VT = 5 RETURN n")
+
+    def test_vt_arithmetic_rejected(self):
+        with pytest.raises(ParseError):
+            parse("MATCH (n) WHERE n.VT + 1 CONTAINS 5 RETURN n")
+
+    def test_allen_on_plain_property_rejected(self):
+        with pytest.raises(ParseError):
+            parse("MATCH (n) WHERE n.x DURING PERIOD(1, 2) RETURN n")
+
+
+class TestTranslation:
+    def _translate(self, op, argument):
+        pred = ast.VTPredicate("n", op, argument)
+        return translate_vt_predicate(pred)
+
+    def test_contains_point(self):
+        expr = self._translate("CONTAINS", ast.Literal(15))
+        # vt_start(n) <= 15 AND 15+1 <= vt_end(n)
+        assert isinstance(expr, ast.BooleanOp) and expr.op == "AND"
+        assert expr.left.op == "<="
+
+    def test_overlaps_period(self):
+        period = ast.PeriodLiteral(ast.Literal(1), ast.Literal(9))
+        expr = self._translate("OVERLAPS", period)
+        assert isinstance(expr, ast.BooleanOp)
+        assert expr.left.op == "<" and expr.right.op == "<"
+
+    @pytest.mark.parametrize(
+        "op",
+        [
+            "BEFORE", "AFTER", "MEETS", "MET_BY", "STARTS", "STARTED_BY",
+            "DURING", "FINISHES", "FINISHED_BY", "EQUALS", "OVERLAPPED_BY",
+        ],
+    )
+    def test_every_allen_operator_translates(self, op):
+        period = ast.PeriodLiteral(ast.Literal(1), ast.Literal(9))
+        expr = self._translate(op, period)
+        assert isinstance(expr, (ast.BooleanOp, ast.Comparison))
+
+    def test_translate_query_rewrites_nested(self):
+        query = parse(
+            "MATCH (n) WHERE NOT (n.VT CONTAINS 5 AND n.x = 1) RETURN n"
+        )
+        translated = translate_query(query)
+
+        def has_vt(expr):
+            if isinstance(expr, ast.VTPredicate):
+                return True
+            for attr in ("left", "right", "operand"):
+                child = getattr(expr, attr, None)
+                if child is not None and has_vt(child):
+                    return True
+            return False
+
+        assert not has_vt(translated.where.predicate)
+
+    def test_translate_query_without_where_is_identity(self):
+        query = parse("MATCH (n) RETURN n")
+        assert translate_query(query) is query

@@ -1,0 +1,94 @@
+"""History-retention tests: pruning old versions safely."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AeonG, TemporalCondition
+from repro.errors import TemporalError
+
+
+@pytest.fixture
+def db():
+    return AeonG(anchor_interval=3, gc_interval_transactions=0)
+
+
+def _build(db):
+    with db.transaction() as txn:
+        gid = db.create_vertex(txn, ["X"], {"v": 0})
+    stamps = [(db.now() - 1, 0)]
+    for value in range(1, 8):
+        with db.transaction() as txn:
+            db.set_vertex_property(txn, gid, "v", value)
+        stamps.append((db.now() - 1, value))
+    db.collect_garbage()
+    return gid, stamps
+
+
+class TestPruneHistory:
+    def test_prunes_old_keeps_new(self, db):
+        gid, stamps = _build(db)
+        cut = stamps[4][0]  # keep versions alive at/after this commit
+        removed = db.prune_history(cut - 1)
+        assert removed > 0
+        reader = db.begin()
+        # Versions ending after the cut-off still reconstruct exactly.
+        for ts, value in stamps[4:]:
+            view = next(db.vertex_versions(reader, gid, TemporalCondition.as_of(ts)))
+            assert view.properties["v"] == value
+        # Versions that ended before the cut-off are gone.
+        assert (
+            list(db.vertex_versions(reader, gid, TemporalCondition.as_of(stamps[0][0])))
+            == []
+        )
+        db.abort(reader)
+
+    def test_version_alive_at_cutoff_survives(self, db):
+        gid, stamps = _build(db)
+        ts_mid, value_mid = stamps[3]
+        removed = db.prune_history(ts_mid)
+        assert removed > 0
+        reader = db.begin()
+        view = next(db.vertex_versions(reader, gid, TemporalCondition.as_of(ts_mid)))
+        assert view.properties["v"] == value_mid
+        db.abort(reader)
+
+    def test_prune_shrinks_storage(self, db):
+        gid, stamps = _build(db)
+        before = db.history.storage_bytes()
+        db.prune_history(stamps[-2][0] - 1)
+        assert db.history.storage_bytes() < before
+
+    def test_prune_everything(self, db):
+        gid, _stamps = _build(db)
+        db.prune_history(db.now())
+        assert not db.history.has_history("vertex", gid)
+        reader = db.begin()
+        # The current version is untouched.
+        assert db.get_vertex(reader, gid).properties["v"] == 7
+        versions = list(
+            db.vertex_versions(reader, gid, TemporalCondition.between(0, db.now()))
+        )
+        assert [v.properties["v"] for v in versions] == [7]
+        db.abort(reader)
+
+    def test_prune_nothing(self, db):
+        _build(db)
+        assert db.prune_history(0) == 0
+
+    def test_new_history_accumulates_after_prune(self, db):
+        gid, _stamps = _build(db)
+        db.prune_history(db.now())
+        t_mid = db.now()
+        with db.transaction() as txn:
+            db.set_vertex_property(txn, gid, "v", 100)
+        db.collect_garbage()
+        reader = db.begin()
+        view = next(db.vertex_versions(reader, gid, TemporalCondition.as_of(t_mid)))
+        assert view.properties["v"] == 7
+        db.abort(reader)
+
+    def test_requires_temporal(self):
+        db = AeonG(temporal=False, gc_interval_transactions=0)
+        with pytest.raises(TemporalError):
+            db.prune_history(10)

@@ -1,0 +1,196 @@
+"""Hypothesis stateful test: the engine against an in-memory oracle.
+
+The state machine interleaves creates, updates, label changes, edge
+operations, deletes, aborted transactions, and garbage-collection
+epochs, while maintaining a plain-Python oracle of (a) the expected
+current state and (b) the expected state at every commit timestamp.
+Invariants checked after every step:
+
+- the current snapshot matches the oracle exactly;
+- ``TT SNAPSHOT t`` matches the remembered state for a sample of
+  historical timestamps, no matter how history is split between undo
+  chains and the KV store.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro import AeonG, TemporalCondition
+
+_PROPS = ("p", "q")
+_LABELS = ("L1", "L2")
+
+
+class EngineMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.db = AeonG(anchor_interval=2, gc_interval_transactions=0)
+        self.alive: dict[int, dict] = {}  # gid -> {"props", "labels"}
+        self.dead: set[int] = set()
+        self.edges: dict[int, tuple[int, int]] = {}
+        self.snapshots: dict[int, dict[int, dict]] = {}
+        self.commits: list[int] = []
+
+    # -- helpers ----------------------------------------------------------
+
+    def _record_commit(self, commit_ts: int) -> None:
+        self.commits.append(commit_ts)
+        self.snapshots[commit_ts] = {
+            gid: {
+                "props": dict(entry["props"]),
+                "labels": set(entry["labels"]),
+            }
+            for gid, entry in self.alive.items()
+        }
+
+    def _pick(self, data, pool):
+        return data.draw(st.sampled_from(sorted(pool)))
+
+    # -- rules -----------------------------------------------------------------
+
+    @rule(value=st.integers(0, 99))
+    def create_vertex(self, value):
+        with self.db.transaction() as txn:
+            gid = self.db.create_vertex(txn, ["L1"], {"p": value})
+        self.alive[gid] = {"props": {"p": value}, "labels": {"L1"}}
+        self._record_commit(self.db.now() - 1)
+
+    @precondition(lambda self: self.alive)
+    @rule(data=st.data(), prop=st.sampled_from(_PROPS), value=st.integers(0, 99))
+    def update_property(self, data, prop, value):
+        gid = self._pick(data, self.alive)
+        with self.db.transaction() as txn:
+            self.db.set_vertex_property(txn, gid, prop, value)
+        self.alive[gid]["props"][prop] = value
+        self._record_commit(self.db.now() - 1)
+
+    @precondition(lambda self: self.alive)
+    @rule(data=st.data(), prop=st.sampled_from(_PROPS))
+    def remove_property(self, data, prop):
+        gid = self._pick(data, self.alive)
+        with self.db.transaction() as txn:
+            self.db.set_vertex_property(txn, gid, prop, None)
+        self.alive[gid]["props"].pop(prop, None)
+        self._record_commit(self.db.now() - 1)
+
+    @precondition(lambda self: self.alive)
+    @rule(data=st.data(), label=st.sampled_from(_LABELS))
+    def toggle_label(self, data, label):
+        gid = self._pick(data, self.alive)
+        labels = self.alive[gid]["labels"]
+        with self.db.transaction() as txn:
+            if label in labels:
+                self.db.remove_label(txn, gid, label)
+                labels.discard(label)
+            else:
+                self.db.add_label(txn, gid, label)
+                labels.add(label)
+        self._record_commit(self.db.now() - 1)
+
+    @precondition(lambda self: len(self.alive) >= 2)
+    @rule(data=st.data())
+    def create_edge(self, data):
+        src = self._pick(data, self.alive)
+        dst = self._pick(data, set(self.alive) - {src})
+        with self.db.transaction() as txn:
+            eid = self.db.create_edge(txn, src, dst, "T")
+        self.edges[eid] = (src, dst)
+        self._record_commit(self.db.now() - 1)
+
+    @precondition(lambda self: self.edges)
+    @rule(data=st.data())
+    def delete_edge(self, data):
+        eid = self._pick(data, self.edges)
+        with self.db.transaction() as txn:
+            self.db.delete_edge(txn, eid)
+        del self.edges[eid]
+        self._record_commit(self.db.now() - 1)
+
+    @precondition(lambda self: self.alive)
+    @rule(data=st.data())
+    def delete_vertex(self, data):
+        gid = self._pick(data, self.alive)
+        with self.db.transaction() as txn:
+            self.db.delete_vertex(txn, gid)
+        del self.alive[gid]
+        self.dead.add(gid)
+        self.edges = {
+            eid: (s, d)
+            for eid, (s, d) in self.edges.items()
+            if s != gid and d != gid
+        }
+        self._record_commit(self.db.now() - 1)
+
+    @precondition(lambda self: self.alive)
+    @rule(data=st.data(), value=st.integers(0, 99))
+    def aborted_update_leaves_no_trace(self, data, value):
+        gid = self._pick(data, self.alive)
+        txn = self.db.begin()
+        self.db.set_vertex_property(txn, gid, "p", value)
+        self.db.abort(txn)
+
+    @rule()
+    def collect_garbage(self):
+        self.db.collect_garbage()
+
+    # -- invariants ----------------------------------------------------------------
+
+    @invariant()
+    def current_state_matches(self):
+        if not hasattr(self, "db"):
+            return
+        txn = self.db.begin()
+        try:
+            seen = {}
+            for view in self.db.iter_vertices(txn):
+                seen[view.gid] = (dict(view.properties), set(view.labels))
+        finally:
+            self.db.abort(txn)
+        expected = {
+            gid: (entry["props"], entry["labels"])
+            for gid, entry in self.alive.items()
+        }
+        assert seen == expected
+
+    @invariant()
+    def history_matches_sampled_snapshots(self):
+        if not hasattr(self, "db") or not self.commits:
+            return
+        # Check the three most informative instants: oldest, middle,
+        # newest (full verification per step would be quadratic).
+        sample = {self.commits[0], self.commits[len(self.commits) // 2], self.commits[-1]}
+        txn = self.db.begin()
+        try:
+            for ts in sample:
+                expected = self.snapshots[ts]
+                gids = set(self.alive) | self.dead
+                for gid in gids:
+                    versions = list(
+                        self.db.vertex_versions(
+                            txn, gid, TemporalCondition.as_of(ts)
+                        )
+                    )
+                    if gid in expected:
+                        assert len(versions) == 1, (ts, gid)
+                        view = versions[0]
+                        assert view.properties == expected[gid]["props"], (ts, gid)
+                        assert view.labels == expected[gid]["labels"], (ts, gid)
+                    else:
+                        assert versions == [], (ts, gid)
+        finally:
+            self.db.abort(txn)
+
+
+EngineStateMachine = EngineMachine.TestCase
+EngineStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,237 @@
+"""Temporal model tests: intervals, Allen's algebra, conditions,
+constraints (paper section 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.timeutil import (
+    MAX_TIMESTAMP,
+    datetime_to_ts,
+    ts_to_datetime,
+)
+from repro.core.temporal import (
+    AllenRelation,
+    Interval,
+    TemporalCondition,
+    allen_relation,
+    check_property_writable,
+    check_valid_time_value,
+    intersects,
+    satisfies_allen,
+    valid_time_of,
+)
+from repro.errors import ImmutableHistoryError, InvalidInterval
+
+
+class TestInterval:
+    def test_rejects_inverted(self):
+        with pytest.raises(InvalidInterval):
+            Interval(5, 3)
+
+    def test_contains_point_half_open(self):
+        interval = Interval(5, 10)
+        assert interval.contains_point(5)
+        assert interval.contains_point(9)
+        assert not interval.contains_point(10)
+        assert not interval.contains_point(4)
+
+    def test_overlaps(self):
+        assert Interval(1, 5).overlaps(Interval(4, 8))
+        assert not Interval(1, 5).overlaps(Interval(5, 8))  # meets only
+        assert not Interval(1, 5).overlaps(Interval(6, 8))
+
+    def test_contains_interval(self):
+        assert Interval(1, 10).contains(Interval(3, 7))
+        assert Interval(1, 10).contains(Interval(1, 10))
+        assert not Interval(1, 10).contains(Interval(0, 5))
+
+    def test_intersect(self):
+        assert Interval(1, 5).intersect(Interval(3, 8)) == Interval(3, 5)
+        assert Interval(1, 5).intersect(Interval(5, 8)) is None
+
+    def test_is_current(self):
+        assert Interval(3).is_current
+        assert not Interval(3, 9).is_current
+
+    def test_empty(self):
+        assert Interval(3, 3).is_empty
+
+
+class TestAllen:
+    CASES = [
+        (Interval(1, 3), Interval(5, 9), AllenRelation.BEFORE),
+        (Interval(5, 9), Interval(1, 3), AllenRelation.AFTER),
+        (Interval(1, 5), Interval(5, 9), AllenRelation.MEETS),
+        (Interval(5, 9), Interval(1, 5), AllenRelation.MET_BY),
+        (Interval(1, 6), Interval(4, 9), AllenRelation.OVERLAPS),
+        (Interval(4, 9), Interval(1, 6), AllenRelation.OVERLAPPED_BY),
+        (Interval(1, 4), Interval(1, 9), AllenRelation.STARTS),
+        (Interval(1, 9), Interval(1, 4), AllenRelation.STARTED_BY),
+        (Interval(3, 6), Interval(1, 9), AllenRelation.DURING),
+        (Interval(1, 9), Interval(3, 6), AllenRelation.CONTAINS),
+        (Interval(6, 9), Interval(1, 9), AllenRelation.FINISHES),
+        (Interval(1, 9), Interval(6, 9), AllenRelation.FINISHED_BY),
+        (Interval(2, 7), Interval(2, 7), AllenRelation.EQUALS),
+    ]
+
+    @pytest.mark.parametrize("a,b,expected", CASES)
+    def test_all_thirteen_relations(self, a, b, expected):
+        assert allen_relation(a, b) == expected
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(InvalidInterval):
+            allen_relation(Interval(1, 1), Interval(1, 5))
+
+    def test_lax_overlaps_matches_sql2011(self):
+        # Sharing any instant counts, unlike the strict Allen OVERLAPS.
+        assert satisfies_allen(Interval(3, 6), Interval(1, 9), AllenRelation.OVERLAPS)
+        assert satisfies_allen(Interval(1, 9), Interval(3, 6), AllenRelation.OVERLAPS)
+        assert not satisfies_allen(
+            Interval(1, 3), Interval(3, 6), AllenRelation.OVERLAPS
+        )
+
+    def test_lax_contains_allows_shared_endpoints(self):
+        assert satisfies_allen(Interval(1, 9), Interval(1, 5), AllenRelation.CONTAINS)
+        assert not satisfies_allen(
+            Interval(1, 9), Interval(0, 5), AllenRelation.CONTAINS
+        )
+
+    def test_strict_relations_pass_through(self):
+        assert satisfies_allen(Interval(1, 3), Interval(5, 9), AllenRelation.BEFORE)
+        assert not satisfies_allen(Interval(1, 5), Interval(5, 9), AllenRelation.BEFORE)
+
+    @given(
+        st.tuples(st.integers(0, 30), st.integers(0, 30)).map(sorted),
+        st.tuples(st.integers(0, 30), st.integers(0, 30)).map(sorted),
+    )
+    @settings(max_examples=500)
+    def test_exactly_one_relation_holds(self, bounds_a, bounds_b):
+        a = Interval(bounds_a[0], bounds_a[1] + 1)
+        b = Interval(bounds_b[0], bounds_b[1] + 1)
+        matches = [
+            rel
+            for rel in AllenRelation
+            if allen_relation(a, b) == rel
+        ]
+        assert len(matches) == 1
+
+    @given(
+        st.tuples(st.integers(0, 30), st.integers(0, 30)).map(sorted),
+        st.tuples(st.integers(0, 30), st.integers(0, 30)).map(sorted),
+    )
+    @settings(max_examples=300)
+    def test_relations_are_converses(self, bounds_a, bounds_b):
+        a = Interval(bounds_a[0], bounds_a[1] + 1)
+        b = Interval(bounds_b[0], bounds_b[1] + 1)
+        converses = {
+            AllenRelation.BEFORE: AllenRelation.AFTER,
+            AllenRelation.AFTER: AllenRelation.BEFORE,
+            AllenRelation.MEETS: AllenRelation.MET_BY,
+            AllenRelation.MET_BY: AllenRelation.MEETS,
+            AllenRelation.OVERLAPS: AllenRelation.OVERLAPPED_BY,
+            AllenRelation.OVERLAPPED_BY: AllenRelation.OVERLAPS,
+            AllenRelation.STARTS: AllenRelation.STARTED_BY,
+            AllenRelation.STARTED_BY: AllenRelation.STARTS,
+            AllenRelation.DURING: AllenRelation.CONTAINS,
+            AllenRelation.CONTAINS: AllenRelation.DURING,
+            AllenRelation.FINISHES: AllenRelation.FINISHED_BY,
+            AllenRelation.FINISHED_BY: AllenRelation.FINISHES,
+            AllenRelation.EQUALS: AllenRelation.EQUALS,
+        }
+        assert allen_relation(b, a) == converses[allen_relation(a, b)]
+
+
+class TestTemporalCondition:
+    def test_as_of_matches_equation_1(self):
+        cond = TemporalCondition.as_of(10)
+        assert cond.matches(5, 15)  # alive across t
+        assert cond.matches(10, 11)  # starts exactly at t
+        assert not cond.matches(11, 20)  # starts after t
+        assert not cond.matches(1, 10)  # ended at t (half-open)
+
+    def test_between_matches_overlap(self):
+        cond = TemporalCondition.between(10, 20)
+        assert cond.matches(5, 12)
+        assert cond.matches(15, 18)
+        assert cond.matches(19, 25)
+        assert cond.matches(5, 30)
+        assert not cond.matches(25, 30)
+        assert not cond.matches(1, 10)  # version ended exactly at t1
+
+    def test_invalid_conditions(self):
+        with pytest.raises(InvalidInterval):
+            TemporalCondition.between(20, 10)
+        with pytest.raises(InvalidInterval):
+            TemporalCondition("as_of", 1, 2)
+        with pytest.raises(InvalidInterval):
+            TemporalCondition("bogus", 1, 1)
+
+    def test_equality_and_hash(self):
+        assert TemporalCondition.as_of(5) == TemporalCondition.as_of(5)
+        assert TemporalCondition.as_of(5) != TemporalCondition.between(5, 5)
+        assert len({TemporalCondition.as_of(5), TemporalCondition.as_of(5)}) == 1
+
+    @given(st.integers(0, 100), st.integers(0, 100), st.integers(0, 100))
+    @settings(max_examples=300)
+    def test_point_condition_equals_interval_contains(self, t, start, width):
+        end = start + width + 1
+        cond = TemporalCondition.as_of(t)
+        assert cond.matches(start, end) == Interval(start, end).contains_point(t)
+
+
+class TestEquation2:
+    def test_intersection(self):
+        assert intersects(1, 5, 4, 9)
+        assert not intersects(1, 5, 5, 9)
+        assert intersects(1, MAX_TIMESTAMP, 5, 9)
+
+    @given(
+        st.tuples(st.integers(0, 50), st.integers(0, 50)).map(sorted),
+        st.tuples(st.integers(0, 50), st.integers(0, 50)).map(sorted),
+    )
+    @settings(max_examples=300)
+    def test_matches_interval_overlap(self, a, b):
+        ia = Interval(a[0], a[1] + 1)
+        ib = Interval(b[0], b[1] + 1)
+        assert intersects(ia.start, ia.end, ib.start, ib.end) == ia.overlaps(ib)
+
+
+class TestConstraints:
+    def test_reserved_properties_rejected(self):
+        with pytest.raises(ImmutableHistoryError):
+            check_property_writable("_tt_start")
+        check_property_writable("balance")  # fine
+
+    def test_valid_time_validation(self):
+        check_valid_time_value(1, 5)
+        check_valid_time_value(5, 5)
+        with pytest.raises(InvalidInterval):
+            check_valid_time_value(5, 1)
+        with pytest.raises(InvalidInterval):
+            check_valid_time_value(-1, 5)
+
+    def test_valid_time_extraction(self):
+        assert valid_time_of({"_vt_start": 3, "_vt_end": 9}) == Interval(3, 9)
+        assert valid_time_of({"_vt_start": 3}) == Interval(3, MAX_TIMESTAMP)
+        assert valid_time_of({"x": 1}) is None
+
+
+class TestTimeUtil:
+    def test_datetime_roundtrip(self):
+        from datetime import datetime, timezone
+
+        moment = datetime(2022, 4, 22, 12, 30, 15, 123456, tzinfo=timezone.utc)
+        assert ts_to_datetime(datetime_to_ts(moment)) == moment
+
+    def test_naive_is_utc(self):
+        from datetime import datetime, timezone
+
+        naive = datetime(2022, 4, 22)
+        aware = datetime(2022, 4, 22, tzinfo=timezone.utc)
+        assert datetime_to_ts(naive) == datetime_to_ts(aware)
+
+    def test_max_timestamp_is_sentinel(self):
+        with pytest.raises(ValueError):
+            ts_to_datetime(MAX_TIMESTAMP)

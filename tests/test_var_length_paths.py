@@ -1,0 +1,148 @@
+"""Variable-length path tests: parsing, traversal semantics, temporal
+variable-length expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AeonG
+from repro.errors import ParseError
+from repro.query.parser import parse
+
+
+@pytest.fixture
+def chain_db():
+    """a -> b -> c -> d (KNOWS chain) plus a shortcut a -> c."""
+    db = AeonG(gc_interval_transactions=0)
+    for name in "abcd":
+        db.execute(f"CREATE (n:P {{name: '{name}'}})")
+    for src, dst in [("a", "b"), ("b", "c"), ("c", "d")]:
+        db.execute(
+            f"MATCH (x:P {{name:'{src}'}}), (y:P {{name:'{dst}'}}) "
+            "CREATE (x)-[:KNOWS {w: 1}]->(y)"
+        )
+    db.execute(
+        "MATCH (x:P {name:'a'}), (y:P {name:'c'}) "
+        "CREATE (x)-[:KNOWS {w: 2}]->(y)"
+    )
+    return db
+
+
+class TestParsing:
+    def test_star_forms(self):
+        rel = parse("MATCH (a)-[:K*]->(b) RETURN a").matches[0].patterns[0].rels[0]
+        assert (rel.min_hops, rel.max_hops) == (1, 15)
+        rel = parse("MATCH (a)-[:K*3]->(b) RETURN a").matches[0].patterns[0].rels[0]
+        assert (rel.min_hops, rel.max_hops) == (3, 3)
+        rel = parse("MATCH (a)-[:K*1..4]->(b) RETURN a").matches[0].patterns[0].rels[0]
+        assert (rel.min_hops, rel.max_hops) == (1, 4)
+        rel = parse("MATCH (a)-[:K*..4]->(b) RETURN a").matches[0].patterns[0].rels[0]
+        assert (rel.min_hops, rel.max_hops) == (1, 4)
+        rel = parse("MATCH (a)-[:K*2..]->(b) RETURN a").matches[0].patterns[0].rels[0]
+        assert (rel.min_hops, rel.max_hops) == (2, 15)
+
+    def test_plain_rel_is_not_variable_length(self):
+        rel = parse("MATCH (a)-[:K]->(b) RETURN a").matches[0].patterns[0].rels[0]
+        assert not rel.is_variable_length
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ParseError):
+            parse("MATCH (a)-[:K*4..2]->(b) RETURN a")
+        with pytest.raises(ParseError):
+            parse("MATCH (a)-[:K*1..99]->(b) RETURN a")
+
+
+class TestTraversal:
+    def test_fixed_length(self, chain_db):
+        rows = chain_db.execute(
+            "MATCH (a:P {name:'a'})-[:KNOWS*2]->(x) "
+            "RETURN x.name ORDER BY x.name"
+        )
+        # a->b->c and a->c->d.
+        assert rows == [{"x.name": "c"}, {"x.name": "d"}]
+
+    def test_range(self, chain_db):
+        rows = chain_db.execute(
+            "MATCH (a:P {name:'a'})-[:KNOWS*1..3]->(x) "
+            "RETURN DISTINCT x.name ORDER BY x.name"
+        )
+        assert rows == [{"x.name": "b"}, {"x.name": "c"}, {"x.name": "d"}]
+
+    def test_rel_variable_binds_edge_list(self, chain_db):
+        rows = chain_db.execute(
+            "MATCH (a:P {name:'a'})-[r:KNOWS*2..2]->(x:P {name:'d'}) "
+            "RETURN size(r) AS hops"
+        )
+        assert rows == [{"hops": 2}]
+
+    def test_zero_hops_includes_source(self, chain_db):
+        rows = chain_db.execute(
+            "MATCH (a:P {name:'a'})-[:KNOWS*0..1]->(x) "
+            "RETURN x.name ORDER BY x.name"
+        )
+        assert rows == [{"x.name": "a"}, {"x.name": "b"}, {"x.name": "c"}]
+
+    def test_edge_uniqueness_per_path(self, chain_db):
+        # Undirected traversal would bounce a-b-a without uniqueness.
+        rows = chain_db.execute(
+            "MATCH (a:P {name:'a'})-[:KNOWS*2..2]-(x) "
+            "RETURN x.name ORDER BY x.name"
+        )
+        names = [row["x.name"] for row in rows]
+        assert "a" not in names  # no immediate back-tracking over one edge
+
+    def test_inline_properties_apply_to_every_hop(self, chain_db):
+        rows = chain_db.execute(
+            "MATCH (a:P {name:'a'})-[:KNOWS*1..3 {w: 1}]->(x) "
+            "RETURN DISTINCT x.name ORDER BY x.name"
+        )
+        # The w=2 shortcut is excluded; only the w=1 chain survives.
+        assert rows == [{"x.name": "b"}, {"x.name": "c"}, {"x.name": "d"}]
+
+    def test_incoming_direction(self, chain_db):
+        rows = chain_db.execute(
+            "MATCH (d:P {name:'d'})<-[:KNOWS*1..3]-(x) "
+            "RETURN DISTINCT x.name ORDER BY x.name"
+        )
+        assert rows == [{"x.name": "a"}, {"x.name": "b"}, {"x.name": "c"}]
+
+    def test_bound_destination(self, chain_db):
+        rows = chain_db.execute(
+            "MATCH (a:P {name:'a'}), (d:P {name:'d'}) "
+            "MATCH (a)-[r:KNOWS*1..3]->(d) RETURN size(r) AS hops "
+            "ORDER BY hops"
+        )
+        assert rows == [{"hops": 2}, {"hops": 3}]
+
+
+class TestTemporalVarLength:
+    def test_snapshot_variable_length(self, chain_db):
+        db = chain_db
+        t_before = db.now()
+        db.execute("MATCH (b:P {name:'b'})-[r:KNOWS]->(c:P {name:'c'}) DELETE r")
+        rows = db.execute(
+            "MATCH (a:P {name:'a'})-[:KNOWS*1..3]->(x) "
+            "RETURN DISTINCT x.name ORDER BY x.name"
+        )
+        # b-c is cut: d only reachable via the a->c shortcut now.
+        assert rows == [{"x.name": "b"}, {"x.name": "c"}, {"x.name": "d"}]
+        rows = db.execute(
+            f"MATCH (a:P {{name:'a'}})-[:KNOWS*3..3]->(x) TT SNAPSHOT {t_before - 1} "
+            "RETURN x.name"
+        )
+        assert rows == [{"x.name": "d"}]  # the 3-hop chain existed then
+        rows = db.execute(
+            "MATCH (a:P {name:'a'})-[:KNOWS*3..3]->(x) RETURN x.name"
+        )
+        assert rows == []  # and is gone now
+
+    def test_snapshot_after_gc(self, chain_db):
+        db = chain_db
+        t_before = db.now()
+        db.execute("MATCH (b:P {name:'b'})-[r:KNOWS]->(c:P {name:'c'}) DELETE r")
+        db.collect_garbage()
+        rows = db.execute(
+            f"MATCH (a:P {{name:'a'}})-[:KNOWS*3..3]->(x) TT SNAPSHOT {t_before - 1} "
+            "RETURN x.name"
+        )
+        assert rows == [{"x.name": "d"}]

@@ -1,0 +1,171 @@
+"""WITH-clause tests: projection, aggregation pipelines, filtering,
+ordering/limiting, scope rules, temporal interaction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AeonG
+from repro.errors import ExecutionError, ParseError, PlanningError
+
+
+@pytest.fixture
+def db():
+    db = AeonG(gc_interval_transactions=0)
+    rows = [
+        ("Ann", "Oslo", 30),
+        ("Bob", "Lima", 25),
+        ("Cid", "Oslo", 41),
+        ("Dee", "Lima", 35),
+        ("Eli", "Oslo", 28),
+    ]
+    for name, city, age in rows:
+        db.execute(
+            f"CREATE (n:Person {{name: '{name}', city: '{city}', age: {age}}})"
+        )
+    for src, dst in [("Ann", "Bob"), ("Ann", "Cid"), ("Bob", "Cid"), ("Dee", "Ann")]:
+        db.execute(
+            f"MATCH (a:Person {{name:'{src}'}}), (b:Person {{name:'{dst}'}}) "
+            "CREATE (a)-[:KNOWS]->(b)"
+        )
+    return db
+
+
+class TestProjection:
+    def test_simple_projection(self, db):
+        rows = db.execute(
+            "MATCH (n:Person) WITH n.age AS age WHERE age > 30 "
+            "RETURN age ORDER BY age"
+        )
+        assert rows == [{"age": 35}, {"age": 41}]
+
+    def test_variables_out_of_scope_after_with(self, db):
+        with pytest.raises((PlanningError, ExecutionError)):
+            db.execute("MATCH (n:Person) WITH n.age AS age RETURN n.name")
+
+    def test_entity_passes_through(self, db):
+        rows = db.execute(
+            "MATCH (n:Person {city: 'Lima'}) WITH n "
+            "MATCH (n)-[:KNOWS]->(m) RETURN n.name, m.name ORDER BY n.name"
+        )
+        assert rows == [
+            {"n.name": "Bob", "m.name": "Cid"},
+            {"n.name": "Dee", "m.name": "Ann"},
+        ]
+
+    def test_expression_requires_alias(self, db):
+        with pytest.raises(ParseError):
+            db.execute("MATCH (n) WITH n.age RETURN n")
+
+    def test_duplicate_names_rejected(self, db):
+        with pytest.raises(PlanningError):
+            db.execute("MATCH (n) WITH n.age AS x, n.name AS x RETURN x")
+
+
+class TestAggregationPipelines:
+    def test_group_then_filter(self, db):
+        rows = db.execute(
+            "MATCH (n:Person) WITH n.city AS city, count(*) AS c "
+            "WHERE c >= 3 RETURN city, c"
+        )
+        assert rows == [{"city": "Oslo", "c": 3}]
+
+    def test_aggregate_then_expand(self, db):
+        # Who has the most outgoing friendships? (argmax via ORDER+LIMIT)
+        rows = db.execute(
+            "MATCH (n:Person)-[:KNOWS]->() "
+            "WITH n, count(*) AS degree ORDER BY degree DESC LIMIT 1 "
+            "MATCH (n)-[:KNOWS]->(m) RETURN n.name, m.name ORDER BY m.name"
+        )
+        assert rows == [
+            {"n.name": "Ann", "m.name": "Bob"},
+            {"n.name": "Ann", "m.name": "Cid"},
+        ]
+
+    def test_avg_pipeline(self, db):
+        rows = db.execute(
+            "MATCH (n:Person) WITH n.city AS city, avg(n.age) AS mean "
+            "RETURN city, mean ORDER BY city"
+        )
+        assert rows[0]["city"] == "Lima" and rows[0]["mean"] == 30
+        assert rows[1]["city"] == "Oslo" and rows[1]["mean"] == 33
+
+    def test_collect_pipeline(self, db):
+        rows = db.execute(
+            "MATCH (n:Person {city:'Lima'}) WITH collect(n.name) AS names "
+            "RETURN size(names) AS c"
+        )
+        assert rows == [{"c": 2}]
+
+    def test_two_withs_chain(self, db):
+        rows = db.execute(
+            "MATCH (n:Person) WITH n.city AS city, count(*) AS c "
+            "WITH c AS people WHERE people > 2 RETURN people"
+        )
+        assert rows == [{"people": 3}]
+
+
+class TestOrderingAndSlicing:
+    def test_order_skip_limit_in_with(self, db):
+        rows = db.execute(
+            "MATCH (n:Person) WITH n ORDER BY n.age DESC SKIP 1 LIMIT 2 "
+            "RETURN n.age ORDER BY n.age"
+        )
+        assert rows == [{"n.age": 30}, {"n.age": 35}]
+
+    def test_order_requires_projected_expression(self, db):
+        rows = db.execute(
+            "MATCH (n:Person) WITH n.age AS age ORDER BY age LIMIT 1 "
+            "RETURN age"
+        )
+        assert rows == [{"age": 25}]
+
+    def test_distinct_with(self, db):
+        rows = db.execute(
+            "MATCH (n:Person) WITH DISTINCT n.city AS city "
+            "RETURN count(*) AS c"
+        )
+        assert rows == [{"c": 2}]
+
+
+class TestWithWrites:
+    def test_match_with_create(self, db):
+        db.execute(
+            "MATCH (n:Person) WITH n.city AS city, count(*) AS c "
+            "CREATE (s:CityStats {name: city, population: c})"
+        )
+        rows = db.execute(
+            "MATCH (s:CityStats) RETURN s.name, s.population ORDER BY s.name"
+        )
+        assert rows == [
+            {"s.name": "Lima", "s.population": 2},
+            {"s.name": "Oslo", "s.population": 3},
+        ]
+
+    def test_with_then_set(self, db):
+        db.execute(
+            "MATCH (n:Person)-[:KNOWS]->() WITH n, count(*) AS degree "
+            "SET n.degree = degree"
+        )
+        rows = db.execute(
+            "MATCH (n:Person {name:'Ann'}) RETURN n.degree"
+        )
+        assert rows == [{"n.degree": 2}]
+
+
+class TestTemporalInteraction:
+    def test_tt_with_pipeline(self, db):
+        t0 = db.now()
+        db.execute("MATCH (n:Person {name:'Ann'}) SET n.age = 99")
+        rows = db.execute(
+            f"MATCH (n:Person) TT SNAPSHOT {t0 - 1} "
+            "WITH n.age AS age WHERE age > 29 "
+            "RETURN age ORDER BY age"
+        )
+        assert rows == [{"age": 30}, {"age": 35}, {"age": 41}]
+
+    def test_tt_in_second_stage_rejected(self, db):
+        with pytest.raises(ParseError):
+            db.execute(
+                "MATCH (n) WITH n MATCH (n) TT SNAPSHOT 3 RETURN n"
+            )

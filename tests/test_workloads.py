@@ -1,0 +1,223 @@
+"""Workload-generator tests: determinism, schema shape, op-stream
+validity, and the measurement driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import AeonGBackend
+from repro.baselines.interface import (
+    ADD_EDGE,
+    ADD_VERTEX,
+    DELETE_EDGE,
+    OP_KINDS,
+    UPDATE_EDGE,
+    UPDATE_VERTEX,
+    GraphOp,
+)
+from repro.workloads import bildbc, ecommerce, ldbc, tpcds
+from repro.workloads.driver import WorkloadDriver
+
+
+class TestLdbcGenerator:
+    def test_deterministic(self):
+        a = ldbc.generate(persons=20, seed=5)
+        b = ldbc.generate(persons=20, seed=5)
+        assert a.ops == b.ops
+
+    def test_different_seeds_differ(self):
+        a = ldbc.generate(persons=20, seed=5)
+        b = ldbc.generate(persons=20, seed=6)
+        assert a.ops != b.ops
+
+    def test_schema_counts(self):
+        data = ldbc.generate(persons=30, seed=1)
+        assert len(data.person_ids) == 30
+        assert len(data.post_ids) == 90
+        assert len(data.comment_ids) == 150
+        assert len(data.forum_ids) == 10
+
+    def test_timestamps_strictly_increasing(self):
+        data = ldbc.generate(persons=15, seed=1)
+        stamps = [op.ts for op in data.ops]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == len(stamps)
+
+    def test_edges_reference_existing_vertices(self):
+        data = ldbc.generate(persons=15, seed=1)
+        seen: set[str] = set()
+        for op in data.ops:
+            if op.kind == ADD_VERTEX:
+                seen.add(op.ext_id)
+            elif op.kind == ADD_EDGE:
+                assert op.src in seen and op.dst in seen
+
+    def test_comment_replies_form_a_dag(self):
+        data = ldbc.generate(persons=15, seed=1)
+        created: set[str] = set()
+        for op in data.ops:
+            if op.kind == ADD_VERTEX:
+                created.add(op.ext_id)
+            elif op.kind == ADD_EDGE and op.label == "REPLY_OF":
+                assert op.dst in created  # parent exists before the reply
+
+    def test_every_message_has_exactly_one_creator(self):
+        data = ldbc.generate(persons=12, seed=2)
+        creators: dict[str, int] = {}
+        for op in data.ops:
+            if op.kind == ADD_EDGE and op.label == "HAS_CREATOR":
+                creators[op.src] = creators.get(op.src, 0) + 1
+        assert set(creators) == set(data.message_ids)
+        assert all(count == 1 for count in creators.values())
+
+    def test_knows_has_no_self_loops_or_duplicates(self):
+        data = ldbc.generate(persons=40, seed=3)
+        pairs = set()
+        for op in data.ops:
+            if op.kind == ADD_EDGE and op.label == "KNOWS":
+                assert op.src != op.dst
+                pair = tuple(sorted((op.src, op.dst)))
+                assert pair not in pairs
+                pairs.add(pair)
+
+    def test_rejects_tiny_scale(self):
+        with pytest.raises(ValueError):
+            ldbc.generate(persons=1)
+
+
+class TestBiLdbcStream:
+    @pytest.fixture(scope="class")
+    def stream(self):
+        data = ldbc.generate(persons=25, seed=1)
+        return data, bildbc.generate_operations(data, 500, seed=2)
+
+    def test_requested_count(self, stream):
+        _data, ops = stream
+        assert len(ops.ops) == 500
+
+    def test_mix_includes_all_categories(self, stream):
+        _data, ops = stream
+        kinds = {op.kind for op in ops.ops}
+        assert UPDATE_VERTEX in kinds
+        assert ADD_VERTEX in kinds
+        assert ADD_EDGE in kinds
+        assert DELETE_EDGE in kinds
+        assert kinds <= set(OP_KINDS)
+
+    def test_updates_dominate(self, stream):
+        _data, ops = stream
+        updates = sum(
+            1 for op in ops.ops if op.kind in (UPDATE_VERTEX, UPDATE_EDGE)
+        )
+        assert updates > len(ops.ops) * 0.5
+
+    def test_timestamps_continue_dataset_clock(self, stream):
+        data, ops = stream
+        assert ops.ops[0].ts == data.last_ts + 1
+        stamps = [op.ts for op in ops.ops]
+        assert stamps == sorted(stamps)
+
+    def test_stream_applies_cleanly(self, stream):
+        data, ops = stream
+        backend = AeonGBackend(gc_interval_transactions=0)
+        driver = WorkloadDriver(backend)
+        driver.apply(data.ops)
+        driver.apply(ops.ops)  # raises on any dangling reference
+        assert driver.ops_applied == len(data.ops) + len(ops.ops)
+
+    def test_no_update_after_delete(self, stream):
+        _data, ops = stream
+        deleted: set[str] = set()
+        for op in ops.ops:
+            if op.kind == DELETE_EDGE:
+                deleted.add(op.ext_id)
+            elif op.kind == UPDATE_EDGE:
+                assert op.ext_id not in deleted
+
+
+class TestTpcds:
+    def test_update_concentration(self):
+        data = tpcds.generate(customers=20, updates=1000, seed=1)
+        counts: dict[str, int] = {}
+        for op in data.ops:
+            if op.kind == UPDATE_VERTEX:
+                counts[op.ext_id] = counts.get(op.ext_id, 0) + 1
+        hottest = max(counts.values())
+        # The hot customer sees far more than a uniform share.
+        assert hottest > 1000 / 20 * 2
+
+    def test_only_customers_update(self):
+        data = tpcds.generate(customers=10, updates=200, seed=1)
+        for op in data.ops:
+            if op.kind == UPDATE_VERTEX:
+                assert op.ext_id.startswith("customer:")
+
+    def test_deterministic(self):
+        assert tpcds.generate(seed=9).ops == tpcds.generate(seed=9).ops
+
+
+class TestEcommerce:
+    def test_month_boundaries(self):
+        data = ecommerce.generate(users=10, items=10, events_per_month=50,
+                                  months=5, seed=1)
+        assert len(data.month_boundaries) == 5
+        assert data.month_boundaries == sorted(data.month_boundaries)
+
+    def test_ops_for_months_is_prefix(self):
+        data = ecommerce.generate(users=10, items=10, events_per_month=50,
+                                  months=5, seed=1)
+        two = data.ops_for_months(2)
+        three = data.ops_for_months(3)
+        assert two == three[: len(two)]
+        assert len(three) > len(two)
+
+    def test_ops_for_months_bounds(self):
+        data = ecommerce.generate(users=5, items=5, events_per_month=20,
+                                  months=2, seed=1)
+        with pytest.raises(ValueError):
+            data.ops_for_months(0)
+        with pytest.raises(ValueError):
+            data.ops_for_months(3)
+
+    def test_event_mix(self):
+        data = ecommerce.generate(users=20, items=20, events_per_month=400,
+                                  months=2, seed=1)
+        events = [op for op in data.ops if op.kind == ADD_EDGE]
+        views = sum(1 for op in events if op.label == "VIEWED")
+        buys = sum(1 for op in events if op.label == "BOUGHT")
+        assert views > buys * 5  # views dominate, like RetailRocket
+
+
+class TestDriver:
+    def test_uniform_instant_in_span(self, small_ldbc):
+        dataset, stream = small_ldbc
+        backend = AeonGBackend(gc_interval_transactions=0)
+        driver = WorkloadDriver(backend, seed=1)
+        driver.apply(dataset.ops)
+        driver.apply(stream.ops)
+        for _ in range(50):
+            t = driver.uniform_instant()
+            assert 1 <= t <= stream.last_ts
+
+    def test_uniform_slice_width(self, small_ldbc):
+        dataset, stream = small_ldbc
+        backend = AeonGBackend(gc_interval_transactions=0)
+        driver = WorkloadDriver(backend, seed=1)
+        driver.apply(dataset.ops)
+        span = driver.last_event_ts - driver.first_event_ts
+        for _ in range(20):
+            t1, t2 = driver.uniform_slice(0.2)
+            assert t2 - t1 == max(1, int(span * 0.2))
+
+    def test_measured_run_collects_latency(self, small_ldbc):
+        dataset, stream = small_ldbc
+        backend = AeonGBackend(gc_interval_transactions=0)
+        driver = WorkloadDriver(backend, seed=1)
+        driver.apply(dataset.ops)
+        run = driver.run_is_queries("IS1", dataset.person_ids, repetitions=5)
+        assert run.latency.count == 5
+        assert run.mean_us > 0
+
+    def test_graphop_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            GraphOp("explode", 1, "x")
