@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Run the crash-consistency matrix standalone: for every registered
+# failpoint site, crash there mid-workload, reopen, and check the
+# committed prefix survived.  Part of the default test run too; this
+# entry point exists for quick iteration on durability code.
+#
+#   scripts/fault_matrix.sh [extra pytest args...]
+set -eu
+cd "$(dirname "$0")/.."
+PYTHONPATH=src exec python -m pytest -m fault_matrix -v "$@"

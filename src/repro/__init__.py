@@ -13,6 +13,7 @@ See README.md for the architecture overview and DESIGN.md for the
 paper-to-module map.
 """
 
+from repro.core.durability import RecoveryReport
 from repro.core.engine import AeonG
 from repro.core.stats import StorageReport
 from repro.core.temporal import (
@@ -22,6 +23,7 @@ from repro.core.temporal import (
     TemporalCondition,
 )
 from repro.errors import ReproError
+from repro.faults import FAILPOINTS, SimulatedCrash, StorageIO
 
 __version__ = "1.0.0"
 
@@ -32,6 +34,10 @@ __all__ = [
     "AllenRelation",
     "GraphModel",
     "StorageReport",
+    "RecoveryReport",
     "ReproError",
+    "FAILPOINTS",
+    "SimulatedCrash",
+    "StorageIO",
     "__version__",
 ]

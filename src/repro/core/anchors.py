@@ -50,6 +50,15 @@ class AnchorPolicy:
         """Drop counter state for a reclaimed object."""
         self._counters.pop((object_kind, gid), None)
 
+    def snapshot(self) -> dict:
+        """Copy the counter state (taken before a migration epoch)."""
+        return dict(self._counters)
+
+    def restore(self, state: dict) -> None:
+        """Roll counters back after a failed epoch, so the retry makes
+        identical anchor-placement decisions."""
+        self._counters = dict(state)
+
 
 def historical_state(record, version_tt_end: int) -> Optional[object]:
     """Materialize the full state of ``record``'s version ending at

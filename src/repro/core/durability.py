@@ -14,6 +14,24 @@ original, including versions that were migrated to the history store.
 :mod:`repro.core.persistence`) and truncates the WAL, bounding
 recovery time.
 
+Crash-consistency contract
+--------------------------
+
+- A checkpoint is installed with write-temp → fsync → atomic-rename;
+  the previous checkpoint is retired to ``checkpoint.old`` and only
+  removed once the new one is durable.  Recovery falls back to
+  ``checkpoint.old`` when the primary is missing or damaged.
+- The checkpoint's ``next_timestamp`` is the replay fence: WAL records
+  with ``commit_ts < next_timestamp`` are already inside the snapshot
+  and are skipped, so the checkpoint-then-truncate pair needs no
+  atomicity — a crash between the two double-logs but never
+  double-applies.
+- Replay classifies a torn *tail* (expected crash residue, silently
+  discarded and repaired) separately from interior *corruption* (a
+  damaged record followed by valid ones), which is surfaced in the
+  :class:`RecoveryReport` and, with ``strict_recovery=True``, raised
+  as :class:`~repro.errors.CorruptionError`.
+
 WAL record payload (framed/checksummed by the kvstore WAL machinery)::
 
     {"ts": commit_ts, "ops": [[opcode, ...args], ...]}
@@ -25,25 +43,83 @@ delete vertex/edge, ``vt`` set valid time.
 
 from __future__ import annotations
 
+import shutil
+from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Optional
+from typing import Any, Optional
 
 from repro.common.serde import decode_value, encode_value
-from repro.errors import StorageError
-from repro.kvstore.wal import WriteAheadLog
+from repro.errors import CorruptionError, StorageError
+from repro.faults import FAILPOINTS
+from repro.kvstore.wal import WalScan, WriteAheadLog
 
 WAL_FILENAME = "engine.wal"
 CHECKPOINT_DIRNAME = "checkpoint"
+CHECKPOINT_TMP_DIRNAME = "checkpoint.tmp"
+CHECKPOINT_OLD_DIRNAME = "checkpoint.old"
+
+# ``checkpoint.current.write`` / ``checkpoint.meta.write`` live in
+# :mod:`repro.core.persistence`, which is imported lazily; registering
+# them here too (idempotent) keeps the full site list discoverable the
+# moment :mod:`repro` is imported.
+FAILPOINTS.register(
+    "engine.wal.append",
+    "engine.wal.sync",
+    "engine.wal.truncate",
+    "checkpoint.current.write",
+    "checkpoint.meta.write",
+    "checkpoint.retire",
+    "checkpoint.install",
+    "checkpoint.cleanup",
+)
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`AeonG.open` found and did.
+
+    Surfaced as ``engine.last_recovery`` and under ``metrics()``'s
+    ``"recovery"`` key, so operators can tell a clean start from a
+    post-crash one — and a routine torn tail from real damage.
+    """
+
+    checkpoint_loaded: bool = False
+    #: True when the primary checkpoint was unusable and the retired
+    #: ``checkpoint.old`` was recovered from instead.
+    checkpoint_fallback: bool = False
+    transactions_replayed: int = 0
+    #: WAL records older than the checkpoint fence (already inside the
+    #: snapshot; skipped to avoid double-apply).
+    transactions_skipped: int = 0
+    bytes_scanned: int = 0
+    bytes_discarded: int = 0
+    torn_tail: bool = False
+    corruption_detected: bool = False
+    #: True when a damaged tail was crash-safely truncated away.
+    wal_repaired: bool = False
+
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
 
 
 class EngineWal:
     """Append-only log of committed transactions."""
 
-    def __init__(self, directory: Path) -> None:
+    def __init__(
+        self, directory: Path, durability_mode: str = "flush"
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
-        self._wal = WriteAheadLog(self.directory / WAL_FILENAME)
+        self._wal = WriteAheadLog(
+            self.directory / WAL_FILENAME,
+            durability_mode=durability_mode,
+            site_prefix="engine.wal",
+        )
         self.records_appended = 0
+
+    @property
+    def durability_mode(self) -> str:
+        return self._wal.durability_mode
 
     def append(self, commit_ts: int, journal: list[tuple]) -> None:
         """Durably record one committed transaction."""
@@ -53,15 +129,48 @@ class EngineWal:
         self._wal.append([(b"txn", payload)])
         self.records_appended += 1
 
-    def replay(self):
+    def scan(self, strict: bool = False) -> tuple[list, WalScan]:
+        """Parse the log into ``[(commit_ts, ops), ...]`` plus the raw
+        :class:`~repro.kvstore.wal.WalScan`.
+
+        A record whose framing checksum passes but whose payload fails
+        to decode is *corruption*, not a torn tail (torn writes cannot
+        produce a valid checksum): ``strict=True`` raises
+        :class:`CorruptionError`, otherwise replay stops there and the
+        scan is flagged.
+        """
+        scan = self._wal.scan(strict=strict)
+        records = []
+        for index, batch in enumerate(scan.batches):
+            try:
+                for _key, payload in batch:
+                    if payload is None:
+                        continue
+                    record = decode_value(payload)
+                    records.append(
+                        (record["ts"], [tuple(op) for op in record["ops"]])
+                    )
+            except Exception as exc:
+                if strict:
+                    raise CorruptionError(
+                        f"engine WAL record {index} has a valid checksum "
+                        f"but an undecodable payload: {exc}"
+                    ) from exc
+                scan.corruption = True
+                # Everything from the damaged record on is untrusted.
+                del scan.batches[index:]
+                break
+        return records, scan
+
+    def replay(self, strict: bool = False):
         """Yield ``(commit_ts, ops)`` in commit order; stops at a torn
         or corrupted tail (crash semantics)."""
-        for batch in self._wal.replay():
-            for _key, payload in batch:
-                if payload is None:
-                    continue
-                record = decode_value(payload)
-                yield record["ts"], [tuple(op) for op in record["ops"]]
+        records, _scan = self.scan(strict=strict)
+        yield from records
+
+    def repair(self) -> bool:
+        """Crash-safely drop a damaged tail found by the last scan."""
+        return self._wal.repair()
 
     def truncate(self) -> None:
         self._wal.truncate()
@@ -70,15 +179,25 @@ class EngineWal:
         self._wal.close()
 
 
-def replay_into(engine, wal: EngineWal) -> int:
-    """Re-execute every WAL transaction against ``engine``.
+def replay_into(engine, wal: EngineWal, min_commit_ts: int = 0,
+                strict: bool = False) -> tuple[int, int, WalScan]:
+    """Re-execute WAL transactions against ``engine``.
 
-    Returns the number of transactions replayed.  The engine must not
-    journal during replay (the caller suspends logging), and replay
-    forces the recorded gids and commit timestamps.
+    Records with ``commit_ts < min_commit_ts`` are skipped: they are
+    already materialised in the checkpoint the engine was loaded from
+    (the crash window between checkpoint install and WAL truncation
+    leaves them in the log).  Returns ``(replayed, skipped, scan)``.
+    The engine must not journal during replay (the caller suspends
+    logging), and replay forces the recorded gids and commit
+    timestamps.
     """
     replayed = 0
-    for commit_ts, ops in wal.replay():
+    skipped = 0
+    records, scan = wal.scan(strict=strict)
+    for commit_ts, ops in records:
+        if commit_ts < min_commit_ts:
+            skipped += 1
+            continue
         txn = engine.begin()
         try:
             for op in ops:
@@ -89,7 +208,7 @@ def replay_into(engine, wal: EngineWal) -> int:
             raise
         engine.manager.commit(txn, commit_ts=commit_ts)
         replayed += 1
-    return replayed
+    return replayed, skipped, scan
 
 
 def _apply_op(engine, txn, op: tuple) -> None:
@@ -120,24 +239,81 @@ def _apply_op(engine, txn, op: tuple) -> None:
         raise StorageError(f"unknown WAL opcode {code!r}")
 
 
-def open_engine(directory, **engine_kwargs):
-    """Open (or create) a durable engine rooted at ``directory``.
+def _resolve_checkpoint(directory: Path, engine_kwargs: dict):
+    """Load the newest usable checkpoint under ``directory``.
 
-    Loads the newest checkpoint when one exists, replays the WAL on
-    top, and returns an engine that continues journaling to the same
-    log.
+    Returns ``(engine_or_None, fence_ts, used_fallback)``.  Resolution
+    order: ``checkpoint`` (primary), then ``checkpoint.old`` (retired
+    mid-swap by a crashed :meth:`AeonG.checkpoint`).  A primary that
+    exists but is damaged falls back; if the fallback is also unusable
+    the damage is not survivable and :class:`CorruptionError`
+    propagates — silently starting fresh would drop committed data.
     """
-    from repro.core.engine import AeonG
     from repro.core.persistence import load_engine
 
+    primary = directory / CHECKPOINT_DIRNAME
+    retired = directory / CHECKPOINT_OLD_DIRNAME
+    primary_error: Optional[Exception] = None
+    if (primary / "meta.bin").exists():
+        try:
+            engine = load_engine(primary, **engine_kwargs)
+            return engine, engine.manager.oracle.peek(), False
+        except (StorageError, CorruptionError) as exc:
+            primary_error = exc
+    if (retired / "meta.bin").exists():
+        try:
+            engine = load_engine(retired, **engine_kwargs)
+            return engine, engine.manager.oracle.peek(), True
+        except (StorageError, CorruptionError):
+            pass
+    if primary_error is not None:
+        raise CorruptionError(
+            f"checkpoint at {primary} is damaged and no usable fallback "
+            f"exists: {primary_error}"
+        ) from primary_error
+    return None, 0, False
+
+
+def open_engine(directory, strict_recovery: bool = False, **engine_kwargs):
+    """Open (or create) a durable engine rooted at ``directory``.
+
+    Loads the newest usable checkpoint (falling back to the retired one
+    after a mid-swap crash), replays the WAL on top — skipping records
+    the checkpoint already contains — repairs any torn tail, and
+    returns an engine that continues journaling to the same log, with
+    ``engine.last_recovery`` describing what recovery found.
+    """
+    from repro.core.engine import AeonG
+
     directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    durability_mode = engine_kwargs.pop("durability_mode", "flush")
     engine_kwargs.pop("durability_dir", None)  # attached below, post-replay
-    checkpoint = directory / CHECKPOINT_DIRNAME
-    if (checkpoint / "meta.bin").exists():
-        engine = load_engine(checkpoint, **engine_kwargs)
-    else:
-        engine = AeonG(**engine_kwargs)
-    wal = EngineWal(directory)
-    replay_into(engine, wal)
+    # A stale checkpoint.tmp is an aborted save: never valid, remove.
+    tmp = directory / CHECKPOINT_TMP_DIRNAME
+    if tmp.exists():
+        shutil.rmtree(tmp)
+    engine, fence_ts, used_fallback = _resolve_checkpoint(
+        directory, dict(engine_kwargs, durability_mode=durability_mode)
+    )
+    loaded = engine is not None
+    if engine is None:
+        engine = AeonG(durability_mode=durability_mode, **engine_kwargs)
+    wal = EngineWal(directory, durability_mode=durability_mode)
+    replayed, skipped, scan = replay_into(
+        engine, wal, min_commit_ts=fence_ts, strict=strict_recovery
+    )
+    repaired = wal.repair()
     engine.attach_wal(directory, wal)
+    engine.last_recovery = RecoveryReport(
+        checkpoint_loaded=loaded,
+        checkpoint_fallback=used_fallback,
+        transactions_replayed=replayed,
+        transactions_skipped=skipped,
+        bytes_scanned=scan.bytes_scanned,
+        bytes_discarded=scan.bytes_discarded,
+        torn_tail=scan.torn_tail,
+        corruption_detected=scan.corruption,
+        wal_repaired=repaired,
+    )
     return engine

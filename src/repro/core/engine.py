@@ -87,6 +87,10 @@ class AeonG:
         snapshots + truncates, and :meth:`AeonG.open` recovers.  Only
         pass this for a *fresh* directory — use :meth:`open` for an
         existing one (it replays the log first).
+    durability_mode:
+        ``"fsync"`` syncs every WAL append and checkpoint file to the
+        device before acknowledging; ``"flush"`` (default) stops at the
+        OS buffer — fast, surviving process death but not power loss.
     """
 
     def __init__(
@@ -98,10 +102,15 @@ class AeonG:
         enforce_vt_constraints: bool = False,
         kv: Optional[KVStore] = None,
         durability_dir=None,
+        durability_mode: str = "flush",
     ) -> None:
+        from repro.faults import StorageIO
+
         self.temporal = temporal
         self.model = model
         self.enforce_vt_constraints = enforce_vt_constraints
+        self.durability_mode = durability_mode
+        self._storage_io = StorageIO(durability_mode)
         self.storage = GraphStorage()
         self.manager = self.storage.manager
         self.history = HistoricalStore(kv)
@@ -118,12 +127,19 @@ class AeonG:
         self._gc_lock = threading.Lock()
         self._gc_thread: Optional[threading.Thread] = None
         self._gc_stop: Optional[threading.Event] = None
+        self._gc_bg_errors = 0
+        self._gc_bg_last_error: Optional[str] = None
         self._wal = None
         self._durability_dir = None
+        #: RecoveryReport from :meth:`open`, None for a fresh engine.
+        self.last_recovery = None
         if durability_dir is not None:
             from repro.core.durability import EngineWal
 
-            self.attach_wal(durability_dir, EngineWal(durability_dir))
+            self.attach_wal(
+                durability_dir,
+                EngineWal(durability_dir, durability_mode=durability_mode),
+            )
 
     # -- transactions -------------------------------------------------------
 
@@ -192,13 +208,23 @@ class AeonG:
         self._require_temporal()
         return self.history.prune(before_ts)
 
-    def start_background_gc(self, interval_seconds: float = 0.05) -> None:
+    def start_background_gc(
+        self,
+        interval_seconds: float = 0.05,
+        max_backoff_seconds: float = 1.0,
+    ) -> None:
         """Run garbage collection periodically on a daemon thread.
 
         This is the paper's deployment model: migration happens
         asynchronously to user transactions ("is lightweight to the
         original databases").  Synchronous commit-count triggering is
         disabled while the thread runs.
+
+        A failing epoch (e.g. an I/O error from the history store) no
+        longer kills the thread silently: the exception is counted and
+        recorded (see ``metrics()["gc"]``) and the loop retries with
+        exponentially growing delay, capped at ``max_backoff_seconds``,
+        resetting to the base cadence after the next clean epoch.
         """
         if self._gc_thread is not None:
             return
@@ -206,8 +232,15 @@ class AeonG:
         self._gc_interval = 0
 
         def loop() -> None:
-            while not self._gc_stop.wait(interval_seconds):
-                self.gc.collect()
+            delay = interval_seconds
+            while not self._gc_stop.wait(delay):
+                try:
+                    self.gc.collect()
+                    delay = interval_seconds
+                except Exception as exc:  # noqa: BLE001 — record, back off, retry
+                    self._gc_bg_errors += 1
+                    self._gc_bg_last_error = repr(exc)
+                    delay = min(delay * 2, max_backoff_seconds)
 
         self._gc_thread = threading.Thread(target=loop, daemon=True)
         self._gc_thread.start()
@@ -509,6 +542,10 @@ class AeonG:
             "gc": {
                 "runs": self.gc.runs,
                 "deltas_reclaimed": self.gc.deltas_reclaimed,
+                "background_running": self._gc_thread is not None
+                and self._gc_thread.is_alive(),
+                "background_errors": self._gc_bg_errors,
+                "background_last_error": self._gc_bg_last_error,
             },
             "migration": {
                 "epochs": self.migrator.migrations,
@@ -540,7 +577,13 @@ class AeonG:
                 "records": (
                     self._wal.records_appended if self._wal is not None else 0
                 ),
+                "durability_mode": self.durability_mode,
             },
+            "recovery": (
+                self.last_recovery.as_dict()
+                if self.last_recovery is not None
+                else None
+            ),
         }
 
     # -- query language -----------------------------------------------------------
@@ -576,27 +619,66 @@ class AeonG:
         """Snapshot the engine and truncate the WAL (bounds recovery).
 
         Requires durability to be enabled and quiescence (like
-        :meth:`save`).
+        :meth:`save`).  The install is crash-safe at every step:
+
+        1. the snapshot is written to ``checkpoint.tmp`` (each file
+           atomically; ``meta.bin`` last);
+        2. the current ``checkpoint`` is retired to ``checkpoint.old``;
+        3. ``checkpoint.tmp`` is atomically renamed to ``checkpoint``;
+        4. ``checkpoint.old`` is removed;
+        5. the WAL is truncated.
+
+        A crash before (3) recovers from the old checkpoint (directly
+        or via the ``checkpoint.old`` fallback) plus the intact WAL; a
+        crash after (3) recovers from the new checkpoint, and any WAL
+        records it already contains are skipped by the replay fence —
+        so no window loses or double-applies a committed transaction.
         """
-        from repro.core.durability import CHECKPOINT_DIRNAME
+        import shutil
+
+        from repro.core.durability import (
+            CHECKPOINT_DIRNAME,
+            CHECKPOINT_OLD_DIRNAME,
+            CHECKPOINT_TMP_DIRNAME,
+        )
         from repro.core.persistence import save_engine
+        from repro.faults import FAILPOINTS
 
         if self._wal is None or self._durability_dir is None:
             raise StorageError("checkpoint requires durability_dir")
-        save_engine(self, self._durability_dir / CHECKPOINT_DIRNAME)
+        primary = self._durability_dir / CHECKPOINT_DIRNAME
+        tmp = self._durability_dir / CHECKPOINT_TMP_DIRNAME
+        old = self._durability_dir / CHECKPOINT_OLD_DIRNAME
+        for stale in (tmp, old):
+            if stale.exists():
+                shutil.rmtree(stale)
+        save_engine(self, tmp, storage_io=self._storage_io)
+        if primary.exists():
+            self._storage_io.rename(primary, old, "checkpoint.retire")
+        self._storage_io.rename(tmp, primary, "checkpoint.install")
+        FAILPOINTS.check("checkpoint.cleanup")
+        if old.exists():
+            shutil.rmtree(old)
         self._wal.truncate()
 
     @classmethod
     def open(cls, directory, **engine_kwargs) -> "AeonG":
         """Open (or create) a durable engine rooted at ``directory``:
         load the newest checkpoint, replay the write-ahead log with the
-        original commit timestamps and gids, continue journaling."""
+        original commit timestamps and gids, continue journaling.
+
+        Accepts ``durability_mode="fsync"|"flush"`` and
+        ``strict_recovery=True`` (raise :class:`CorruptionError` on
+        interior WAL damage instead of flagging it).  The resulting
+        engine's ``last_recovery`` is a
+        :class:`~repro.core.durability.RecoveryReport`.
+        """
         from repro.core.durability import open_engine
 
         return open_engine(directory, **engine_kwargs)
 
     def close(self) -> None:
-        """Stop background work and close the WAL."""
+        """Stop background work and close the WAL (idempotent)."""
         self.stop_background_gc()
         if self._wal is not None:
             self._wal.close()

@@ -410,6 +410,17 @@ class HistoricalStore:
         """Whether any reclaimed record exists for the object."""
         return gid in self._known[object_kind]
 
+    def invalidate_caches(self) -> None:
+        """Drop the read caches (rebuilt lazily from the KV store).
+
+        Called after a failed migration epoch: staging optimistically
+        appended to the caches, so a retry of the same drafts would
+        otherwise leave duplicate cache entries.
+        """
+        self._payload_cache.clear()
+        self._object_cache.clear()
+        self._mention_cache.clear()
+
     # -- retention ---------------------------------------------------------------
 
     def prune(self, before_ts: int) -> int:

@@ -16,9 +16,12 @@ from repro.core.deltas import RecordDraft, merge_transaction_deltas
 from repro.core.history_store import HistoricalStore
 from repro.core.keys import SEGMENT_EDGE, SEGMENT_TOPOLOGY, SEGMENT_VERTEX
 from repro.core.reconstruct import anchor_payload_from_view
+from repro.faults import FAILPOINTS
 from repro.graph.storage import GraphStorage
 from repro.kvstore import WriteBatch
 from repro.mvcc.transaction import Transaction
+
+FAILPOINTS.register("migration.commit_batch")
 
 
 class Migrator:
@@ -57,23 +60,48 @@ class Migrator:
         ordered = sorted(
             transactions, key=lambda t: t.commit_ts if t.commit_ts else 0
         )
-        for txn in ordered:
-            deltas = [delta for _record, delta in txn.undo_buffer]
-            if not deltas:
-                continue
-            edge_statics = self._edge_statics(txn)
-            drafts = merge_transaction_deltas(deltas, edge_statics)
-            anchored: set[tuple[str, int]] = set()
-            for draft in drafts:
-                self.history.stage_record(batch, draft)
-                staged += 1
-                self._maybe_stage_anchor(batch, draft, anchored)
-            for draft in drafts:
-                if draft.segment != SEGMENT_TOPOLOGY:
-                    key = (self._object_kind(draft), draft.gid)
-                    self._last_content_end[key] = draft.tt_end
-            self.transactions_migrated += 1
-        self.history.commit_batch(batch)
+        # Staging mutates bookkeeping (counters, anchor cadence,
+        # validity frontiers, read caches) before the epoch's single
+        # atomic install.  Snapshot it so a failed install — I/O error,
+        # injected fault — rolls everything back and the retried epoch
+        # makes byte-identical decisions.
+        counters_before = (
+            self.transactions_migrated,
+            self.history.records_written,
+            self.history.anchors_written,
+        )
+        content_end_before = dict(self._last_content_end)
+        anchor_state_before = self.anchor_policy.snapshot()
+        try:
+            for txn in ordered:
+                deltas = [delta for _record, delta in txn.undo_buffer]
+                if not deltas:
+                    continue
+                edge_statics = self._edge_statics(txn)
+                drafts = merge_transaction_deltas(deltas, edge_statics)
+                anchored: set[tuple[str, int]] = set()
+                for draft in drafts:
+                    self.history.stage_record(batch, draft)
+                    staged += 1
+                    self._maybe_stage_anchor(batch, draft, anchored)
+                for draft in drafts:
+                    if draft.segment != SEGMENT_TOPOLOGY:
+                        key = (self._object_kind(draft), draft.gid)
+                        self._last_content_end[key] = draft.tt_end
+                self.transactions_migrated += 1
+            # The epoch's atomic install (``putMultiples``).
+            FAILPOINTS.check("migration.commit_batch")
+            self.history.commit_batch(batch)
+        except BaseException:
+            (
+                self.transactions_migrated,
+                self.history.records_written,
+                self.history.anchors_written,
+            ) = counters_before
+            self._last_content_end = content_end_before
+            self.anchor_policy.restore(anchor_state_before)
+            self.history.invalidate_caches()
+            raise
         self.migrations += 1
         return staged
 

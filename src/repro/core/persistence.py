@@ -22,23 +22,39 @@ historical version lands in the (persisted) history store.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any
+from typing import Any, Optional
 
 from repro.common.serde import decode_value, encode_value
-from repro.errors import StorageError
+from repro.errors import CorruptionError, StorageError
+from repro.faults import DEFAULT_IO, FAILPOINTS, StorageIO
 from repro.graph.edge import EdgeRecord
 from repro.graph.vertex import EdgeRef, VertexRecord
 
 _FORMAT_VERSION = 1
 
+FAILPOINTS.register("checkpoint.current.write", "checkpoint.meta.write")
 
-def save_engine(engine, directory: Path) -> None:
-    """Persist a quiescent engine to ``directory``."""
+
+def save_engine(
+    engine, directory: Path, storage_io: Optional[StorageIO] = None
+) -> None:
+    """Persist a quiescent engine to ``directory``.
+
+    Write order is the crash-safety contract: history and the current
+    store first, ``meta.bin`` last — each atomically (temp + rename).
+    ``meta.bin`` is the snapshot's commit point; a directory without a
+    readable one is an aborted save and is never loaded.
+    """
     if engine.manager.active_count > 0:
         raise StorageError(
             "cannot save with active transactions "
             f"({engine.manager.active_count} running)"
         )
+    io = (
+        storage_io
+        if storage_io is not None
+        else getattr(engine, "_storage_io", DEFAULT_IO)
+    )
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     # Flush every reclaimable undo chain into the history store so the
@@ -54,7 +70,12 @@ def save_engine(engine, directory: Path) -> None:
             _encode_edge(record) for record in engine.storage.iter_edge_records()
         ],
     }
-    (directory / "current.bin").write_bytes(encode_value(current))
+    engine.history.kv.save(directory / "history", storage_io=io)
+    io.write_file(
+        directory / "current.bin",
+        encode_value(current),
+        "checkpoint.current.write",
+    )
     meta = {
         "version": _FORMAT_VERSION,
         "next_timestamp": engine.manager.oracle.peek(),
@@ -63,12 +84,18 @@ def save_engine(engine, directory: Path) -> None:
         "anchor_interval": engine.anchor_policy.interval,
         "model": engine.model.value,
     }
-    (directory / "meta.bin").write_bytes(encode_value(meta))
-    engine.history.kv.save(directory / "history")
+    io.write_file(
+        directory / "meta.bin", encode_value(meta), "checkpoint.meta.write"
+    )
 
 
 def load_engine(directory: Path, **engine_kwargs):
-    """Rebuild an engine saved by :func:`save_engine`."""
+    """Rebuild an engine saved by :func:`save_engine`.
+
+    Raises :class:`StorageError` when no snapshot exists and
+    :class:`CorruptionError` when one exists but fails integrity
+    checks (truncated ``meta.bin``, unreadable sstables, …).
+    """
     from repro.core.engine import AeonG
     from repro.core.temporal import GraphModel
     from repro.kvstore import KVStore
@@ -77,7 +104,7 @@ def load_engine(directory: Path, **engine_kwargs):
     meta_path = directory / "meta.bin"
     if not meta_path.exists():
         raise StorageError(f"no engine snapshot in {directory}")
-    meta = decode_value(meta_path.read_bytes())
+    meta = _decode_or_corrupt(meta_path.read_bytes(), meta_path)
     if meta.get("version") != _FORMAT_VERSION:
         raise StorageError(f"unsupported snapshot version {meta.get('version')}")
     kv = KVStore.load(directory / "history")
@@ -85,7 +112,8 @@ def load_engine(directory: Path, **engine_kwargs):
     engine_kwargs.setdefault("anchor_interval", meta["anchor_interval"])
     engine_kwargs.setdefault("model", GraphModel(meta["model"]))
     engine = AeonG(kv=kv, **engine_kwargs)
-    current = decode_value((directory / "current.bin").read_bytes())
+    current_path = directory / "current.bin"
+    current = _decode_or_corrupt(current_path.read_bytes(), current_path)
     storage = engine.storage
     for raw in current["vertices"]:
         record = _decode_vertex(raw)
@@ -96,6 +124,17 @@ def load_engine(directory: Path, **engine_kwargs):
     storage._gids.allocate_up_to(meta["next_gid"])
     engine.manager.oracle.advance_to(meta["next_timestamp"])
     return engine
+
+
+def _decode_or_corrupt(data: bytes, path: Path):
+    """Decode a snapshot file, mapping any parse failure to
+    :class:`CorruptionError` (truncated or damaged on disk)."""
+    try:
+        return decode_value(data)
+    except CorruptionError:
+        raise
+    except Exception as exc:
+        raise CorruptionError(f"damaged snapshot file {path}: {exc}") from exc
 
 
 def _encode_vertex(record: VertexRecord) -> dict[str, Any]:

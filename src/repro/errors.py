@@ -25,6 +25,15 @@ class CorruptionError(KVStoreError):
     """On-disk or in-memory data failed an integrity check."""
 
 
+class FaultInjected(StorageError):
+    """A deliberate I/O failure injected by an armed failpoint.
+
+    Raised by :mod:`repro.faults` when a site is armed in ``error``
+    mode; stands in for EIO/ENOSPC-style failures the storage stack
+    must survive without corrupting state.
+    """
+
+
 class TransactionError(ReproError):
     """Base class for transaction-level failures."""
 

@@ -22,10 +22,13 @@ import zlib
 from typing import Iterator, Optional
 
 from repro.errors import CorruptionError
+from repro.faults import FAILPOINTS
 from repro.kvstore.bloom import BloomFilter
 
 _MAGIC = b"REPROSST"
 _FOOTER = struct.Struct(">III8s")  # entries, payload crc, bloom length, magic
+
+FAILPOINTS.register("kv.sstable.encode", "kv.sstable.decode")
 
 
 def _write_varint(value: int, out: bytearray) -> None:
@@ -112,6 +115,7 @@ class SSTable:
 
     def encode(self) -> bytes:
         """Serialize the table (entries + checksummed footer)."""
+        FAILPOINTS.check("kv.sstable.encode")
         payload = bytearray()
         for key, value in zip(self._keys, self._values):
             _write_varint(len(key), payload)
@@ -131,6 +135,7 @@ class SSTable:
     @classmethod
     def decode(cls, data: bytes) -> "SSTable":
         """Parse bytes produced by :meth:`encode`, verifying integrity."""
+        FAILPOINTS.check("kv.sstable.decode")
         if len(data) < _FOOTER.size:
             raise CorruptionError("sstable shorter than footer")
         count, crc, bloom_len, magic = _FOOTER.unpack(data[-_FOOTER.size:])

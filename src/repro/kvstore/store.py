@@ -29,13 +29,18 @@ from pathlib import Path
 from typing import Iterator, Optional
 
 from repro.errors import KVStoreError
+from repro.faults import FAILPOINTS, DEFAULT_IO, StorageIO
 from repro.kvstore.api import StoreStats, WriteBatch, _check_key
 from repro.kvstore.iterator import bounded, merge_runs
 from repro.kvstore.memtable import MemTable
 from repro.kvstore.sstable import SSTable
-from repro.kvstore.wal import WriteAheadLog
+from repro.kvstore.wal import WalScan, WriteAheadLog
 
 _DEFAULT_MEMTABLE_LIMIT = 4 * 1024 * 1024  # bytes, like a small RocksDB
+
+FAILPOINTS.register(
+    "kv.flush", "kv.compact", "kv.save.sst", "kv.save.manifest"
+)
 
 
 class KVStore:
@@ -53,6 +58,9 @@ class KVStore:
         with :meth:`recover`.
     seed:
         Seed for the memtable skiplists (determinism in benchmarks).
+    durability_mode:
+        ``"fsync"`` syncs every WAL append to the device; ``"flush"``
+        (default) stops at the OS buffer.
     """
 
     def __init__(
@@ -61,6 +69,7 @@ class KVStore:
         max_runs: int = 8,
         wal_path: Optional[Path] = None,
         seed: Optional[int] = 0,
+        durability_mode: str = "flush",
     ) -> None:
         if memtable_limit_bytes <= 0:
             raise ValueError("memtable_limit_bytes must be positive")
@@ -72,8 +81,14 @@ class KVStore:
         self._memtable = MemTable(seed=seed)
         self._runs: list[SSTable] = []  # newest first
         self._lock = threading.RLock()
-        self._wal = WriteAheadLog(wal_path) if wal_path is not None else None
+        self._io = StorageIO(durability_mode)
+        self._wal = (
+            WriteAheadLog(wal_path, storage_io=self._io)
+            if wal_path is not None
+            else None
+        )
         self.stats = StoreStats()
+        self.last_recovery_scan: Optional[WalScan] = None
 
     # -- write path -----------------------------------------------------
 
@@ -197,14 +212,19 @@ class KVStore:
     # -- maintenance ------------------------------------------------------
 
     def flush(self) -> None:
-        """Freeze the memtable into an immutable run."""
+        """Freeze the memtable into an immutable run.
+
+        The WAL is deliberately *not* truncated here: runs live in
+        memory, so journaled writes stay replayable until :meth:`save`
+        has made them durable (truncating at flush time was a crash
+        window that silently lost every flushed-but-unsaved write).
+        """
         with self._lock:
             if len(self._memtable) == 0:
                 return
+            FAILPOINTS.check("kv.flush")
             self._runs.insert(0, SSTable.from_memtable(self._memtable))
             self._memtable = MemTable(seed=self._seed)
-            if self._wal is not None:
-                self._wal.truncate()
             self.stats.flushes += 1
 
     def _maybe_flush(self) -> None:
@@ -243,29 +263,41 @@ class KVStore:
         with self._lock:
             if len(self._memtable) == 0 and len(self._runs) <= 1:
                 return
+            FAILPOINTS.check("kv.compact")
             runs = [iter(self._memtable)] + [iter(run) for run in self._runs]
             merged = list(merge_runs(runs, keep_tombstones=False))
             self._memtable = MemTable(seed=self._seed)
             self._runs = [SSTable(merged)] if merged else []
-            if self._wal is not None:
-                self._wal.truncate()
             self.stats.compactions += 1
 
     # -- persistence ------------------------------------------------------
 
-    def save(self, directory: Path) -> None:
-        """Persist a compacted copy of the store to ``directory``."""
+    def save(
+        self, directory: Path, storage_io: Optional[StorageIO] = None
+    ) -> None:
+        """Persist a compacted copy of the store to ``directory``.
+
+        Every file is written atomically (temp + rename, fsync'd in
+        ``fsync`` mode) and the manifest goes last, so a directory with
+        a readable ``MANIFEST.json`` always names complete sstables; a
+        crash mid-save leaves no manifest and the directory is ignored.
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
+        io = storage_io if storage_io is not None else self._io
         with self._lock:
             self.compact()
             names = []
             for index, run in enumerate(self._runs):
                 name = f"run-{index:06d}.sst"
-                (directory / name).write_bytes(run.encode())
+                io.write_file(directory / name, run.encode(), "kv.save.sst")
                 names.append(name)
             manifest = {"format": 1, "runs": names}
-            (directory / "MANIFEST.json").write_text(json.dumps(manifest))
+            io.write_file(
+                directory / "MANIFEST.json",
+                json.dumps(manifest).encode("utf-8"),
+                "kv.save.manifest",
+            )
 
     @classmethod
     def load(cls, directory: Path, **kwargs) -> "KVStore":
@@ -281,20 +313,27 @@ class KVStore:
             store._runs.append(SSTable.decode(data))
         return store
 
-    def recover(self) -> int:
+    def recover(self, strict: bool = False) -> int:
         """Replay the WAL into the memtable; returns replayed op count.
 
         Called on a fresh store whose ``wal_path`` points at a log left
-        by a crashed predecessor.
+        by a crashed predecessor.  A torn tail is discarded and the log
+        is repaired (crash-safely truncated to the valid prefix) so new
+        appends never land behind garbage; the scan details land in
+        :attr:`last_recovery_scan`.  With ``strict=True``, interior
+        corruption raises :class:`~repro.errors.CorruptionError`.
         """
         if self._wal is None:
             raise KVStoreError("store has no WAL to recover from")
         count = 0
         with self._lock:
-            for ops in self._wal.replay():
+            scan = self._wal.scan(strict=strict)
+            for ops in scan.batches:
                 for key, value in ops:
                     self._memtable.put(key, value)
                     count += 1
+            self._wal.repair()
+            self.last_recovery_scan = scan
         return count
 
     def close(self) -> None:

@@ -9,20 +9,41 @@ Record format::
     u32 length | u32 crc32(payload) | payload
     payload := varint(op_count) ( varint(klen) key
                                   varint(flag) [varint(vlen) value] )*
+
+Durability discipline: ``durability_mode="flush"`` stops at the OS
+buffer (fast, survives process death but not power loss);
+``"fsync"`` syncs every append to the device.  All physical I/O routes
+through :class:`repro.faults.StorageIO`, so every boundary — append,
+sync, truncate — is a registered failpoint site
+(``<site_prefix>.append`` / ``.sync`` / ``.truncate``).
+
+Recovery distinguishes a *torn tail* (an incomplete or garbage final
+record — the expected residue of a crash mid-append) from *corruption*
+(a damaged record with valid data after it — real on-disk damage that
+replay must not silently hide).  :meth:`WriteAheadLog.scan` reports
+both; ``strict=True`` escalates corruption to
+:class:`~repro.errors.CorruptionError`.
 """
 
 from __future__ import annotations
 
 import io
+import os
 import struct
 import zlib
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import BinaryIO, Iterator, Optional
 
 from repro.errors import CorruptionError
+from repro.faults import FAILPOINTS, StorageIO
 from repro.kvstore.sstable import _read_varint, _write_varint
 
 _HEADER = struct.Struct(">II")
+
+# The default site prefix; other prefixes (e.g. ``engine.wal``) are
+# registered by their owners, per-instance prefixes at construction.
+FAILPOINTS.register("kv.wal.append", "kv.wal.sync", "kv.wal.truncate")
 
 
 def _encode_batch(ops: list[tuple[bytes, Optional[bytes]]]) -> bytes:
@@ -59,6 +80,25 @@ def _decode_batch(payload: bytes) -> list[tuple[bytes, Optional[bytes]]]:
     return ops
 
 
+@dataclass
+class WalScan:
+    """What one pass over the log found.
+
+    ``torn_tail`` marks the expected crash residue (an incomplete or
+    checksum-failing *final* record); ``corruption`` marks a damaged
+    record *followed by valid bytes* — real damage, never produced by a
+    clean crash of an append-only writer.
+    """
+
+    batches: list = field(default_factory=list)
+    records: int = 0
+    bytes_scanned: int = 0
+    valid_bytes: int = 0  # offset just past the last intact record
+    bytes_discarded: int = 0
+    torn_tail: bool = False
+    corruption: bool = False
+
+
 class WriteAheadLog:
     """Append-only durability log.
 
@@ -67,52 +107,178 @@ class WriteAheadLog:
     without touching the filesystem.
     """
 
-    def __init__(self, path: Optional[Path] = None) -> None:
+    def __init__(
+        self,
+        path: Optional[Path] = None,
+        durability_mode: str = "flush",
+        site_prefix: str = "kv.wal",
+        storage_io: Optional[StorageIO] = None,
+    ) -> None:
         self._path = Path(path) if path is not None else None
+        self._io = (
+            storage_io
+            if storage_io is not None
+            else StorageIO(durability_mode)
+        )
+        self._site_append = f"{site_prefix}.append"
+        self._site_sync = f"{site_prefix}.sync"
+        self._site_truncate = f"{site_prefix}.truncate"
+        FAILPOINTS.register(
+            self._site_append, self._site_sync, self._site_truncate
+        )
+        self.last_scan: Optional[WalScan] = None
         if self._path is not None:
             self._path.parent.mkdir(parents=True, exist_ok=True)
+            # A stale .tmp is the residue of a crash mid-truncate; the
+            # rename never happened, so the original file is authoritative.
+            tmp = self._tmp_path()
+            if tmp.exists():
+                tmp.unlink()
             self._file: BinaryIO = open(self._path, "ab")
+            self._synced = self._file.tell()
         else:
             self._file = io.BytesIO()
+            self._synced = 0
+        self._closed = False
+
+    @property
+    def durability_mode(self) -> str:
+        return self._io.durability_mode
+
+    def _tmp_path(self) -> Path:
+        return self._path.with_name(self._path.name + ".tmp")
 
     def append(self, ops: list[tuple[bytes, Optional[bytes]]]) -> None:
         """Durably append one atomic batch."""
         payload = _encode_batch(ops)
         record = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
-        self._file.write(record)
-        self._file.flush()
+        self._io.append(self._file, record, self._site_append)
+        if self._io.fsync_enabled:
+            self._synced = self._io.sync(
+                self._file, self._site_sync, self._synced
+            )
+
+    def sync(self) -> None:
+        """Force everything appended so far to the device."""
+        self._synced = self._io.sync(self._file, self._site_sync, self._synced)
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         if self._path is not None:
             self._file.close()
 
     def truncate(self) -> None:
-        """Discard all records (called after a successful flush)."""
-        if self._path is not None:
-            self._file.close()
-            self._file = open(self._path, "wb")
-        else:
+        """Discard all records (called after a successful checkpoint)."""
+        self.truncate_to(0)
+
+    def truncate_to(self, keep_bytes: int) -> None:
+        """Crash-safely cut the log back to its first ``keep_bytes``.
+
+        Write-new + atomic rename: the surviving prefix is written to a
+        temp file and renamed over the log, so a crash at any instant
+        leaves either the full old log or the exact truncated one —
+        never a half-valid file (the failure mode of truncating the
+        live file in place).
+        """
+        if self._path is None:
+            data = self._file.getvalue()[:keep_bytes]
+            self._io.registry.check(self._site_truncate)
             self._file = io.BytesIO()
+            self._file.write(data)
+            self._synced = keep_bytes
+            return
+        self._file.flush()
+        prefix = self._path.read_bytes()[:keep_bytes] if keep_bytes else b""
+        tmp = self._tmp_path()
+        with open(tmp, "wb") as handle:
+            handle.write(prefix)
+            handle.flush()
+            if self._io.fsync_enabled:
+                os.fsync(handle.fileno())
+        # The dangerous window: new file durable, old still in place.
+        # A crash here leaves the original log plus a stray .tmp that
+        # the next open discards — recovery sees the full old log.
+        self._io.rename(tmp, self._path, self._site_truncate)
+        self._file.close()
+        self._file = open(self._path, "ab")
+        self._synced = self._file.tell()
 
     # -- recovery -------------------------------------------------------
 
-    def replay(self) -> Iterator[list[tuple[bytes, Optional[bytes]]]]:
-        """Yield batches in append order; stop at the first torn record."""
+    def scan(self, strict: bool = False) -> WalScan:
+        """Parse the whole log, classifying any damaged tail.
+
+        With ``strict=True``, corruption (a bad record that is *not*
+        the torn final one) raises :class:`CorruptionError` instead of
+        being flagged — callers that would rather refuse to open than
+        silently drop interior records.
+        """
         data = self._snapshot_bytes()
+        scan = WalScan(bytes_scanned=len(data))
         pos = 0
         while pos < len(data):
             if pos + _HEADER.size > len(data):
-                return  # torn header: crash mid-write
+                scan.torn_tail = True  # torn header: crash mid-write
+                break
             length, crc = _HEADER.unpack_from(data, pos)
             start = pos + _HEADER.size
             end = start + length
             if end > len(data):
-                return  # torn payload
+                scan.torn_tail = True  # torn payload
+                break
             payload = data[start:end]
             if zlib.crc32(payload) != crc:
-                return  # corrupted tail
-            yield _decode_batch(payload)
+                if end == len(data):
+                    # Garbage final record: expected crash residue.
+                    scan.torn_tail = True
+                else:
+                    # Damaged record with bytes *after* it: an
+                    # append-only crash cannot produce this.
+                    if strict:
+                        raise CorruptionError(
+                            f"WAL record at offset {pos} failed its "
+                            f"checksum but {len(data) - end} valid bytes "
+                            "follow: interior corruption, not a torn tail"
+                        )
+                    scan.corruption = True
+                break
+            try:
+                batch = _decode_batch(payload)
+            except CorruptionError:
+                # Checksum passed but the payload is malformed:
+                # software-level damage, never a torn write.
+                if strict:
+                    raise
+                scan.corruption = True
+                break
+            scan.batches.append(batch)
+            scan.records += 1
             pos = end
+            scan.valid_bytes = pos
+        scan.bytes_discarded = len(data) - scan.valid_bytes
+        self.last_scan = scan
+        return scan
+
+    def replay(
+        self, strict: bool = False
+    ) -> Iterator[list[tuple[bytes, Optional[bytes]]]]:
+        """Yield batches in append order; stop at the first torn record."""
+        yield from self.scan(strict=strict).batches
+
+    def repair(self) -> bool:
+        """Crash-safely drop a damaged tail found by the last scan.
+
+        Returns True when bytes were discarded.  Without this, appends
+        after recovery would land *behind* unreadable garbage and be
+        lost on the next replay.
+        """
+        scan = self.last_scan if self.last_scan is not None else self.scan()
+        if scan.bytes_discarded == 0:
+            return False
+        self.truncate_to(scan.valid_bytes)
+        return True
 
     def _snapshot_bytes(self) -> bytes:
         if self._path is not None:

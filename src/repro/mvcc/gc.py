@@ -71,7 +71,16 @@ class GarbageCollector:
                 self.runs += 1
                 return 0
             if self._migrate_hook is not None:
-                self._migrate_hook(reclaimable)
+                try:
+                    self._migrate_hook(reclaimable)
+                except BaseException:
+                    # take_reclaimable() popped these transactions; if
+                    # migration failed (I/O error, injected fault) their
+                    # deltas have NOT reached the history store — requeue
+                    # them so the next epoch retries instead of silently
+                    # losing history.
+                    self._manager.committed_pending_gc[:0] = reclaimable
+                    raise
             reclaimed = self._unlink(reclaimable)
             self.runs += 1
             self.deltas_reclaimed += reclaimed

@@ -97,7 +97,12 @@ class TestMetrics:
         assert metrics["migration"]["records_written"] >= 5
         assert metrics["current_store"]["vertices"] == 1
         assert metrics["history_kv"]["bytes"] > 0
-        assert metrics["wal"] == {"enabled": False, "records": 0}
+        assert metrics["wal"] == {
+            "enabled": False,
+            "records": 0,
+            "durability_mode": "flush",
+        }
+        assert metrics["recovery"] is None
 
     def test_active_transactions_visible(self, db):
         txn = db.begin()

@@ -3,11 +3,18 @@ timestamp- and gid-exact replay."""
 
 from __future__ import annotations
 
+import shutil
+
 import pytest
 
 from repro import AeonG, TemporalCondition
-from repro.core.durability import EngineWal, WAL_FILENAME
-from repro.errors import StorageError
+from repro.core.durability import (
+    CHECKPOINT_DIRNAME,
+    CHECKPOINT_OLD_DIRNAME,
+    EngineWal,
+    WAL_FILENAME,
+)
+from repro.errors import CorruptionError, StorageError
 
 
 def _history_signature(db: AeonG):
@@ -212,4 +219,87 @@ class TestCheckpoint:
         ]
         recovered.abort(txn)
         assert versions == [12, 11, 10, 3, 2, 1, 0]
+        recovered.close()
+
+
+class TestRecoveryEdgeCases:
+    def test_empty_wal_file(self, tmp_path):
+        """A zero-byte WAL (crash between create and first append) is a
+        clean start, not damage."""
+        (tmp_path / "data").mkdir()
+        (tmp_path / "data" / WAL_FILENAME).write_bytes(b"")
+        db = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        report = db.last_recovery
+        assert report.transactions_replayed == 0
+        assert not report.torn_tail
+        assert not report.corruption_detected
+        _workload(db)
+        db.close()
+
+    def test_wal_with_only_torn_header(self, tmp_path):
+        """A log holding nothing but a partial record header (crash
+        inside the very first append) recovers empty, flags the torn
+        tail, and repairs it."""
+        (tmp_path / "data").mkdir()
+        (tmp_path / "data" / WAL_FILENAME).write_bytes(b"\x00\x00\x00")
+        db = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        report = db.last_recovery
+        assert report.transactions_replayed == 0
+        assert report.torn_tail
+        assert report.wal_repaired
+        assert report.bytes_discarded == 3
+        # The repaired log accepts and recovers new commits.
+        ids = _workload(db)
+        db.close()
+        recovered = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        with recovered.transaction() as txn:
+            assert recovered.get_vertex(txn, ids["a"]).properties["v"] == 3
+        recovered.close()
+
+    def test_truncated_checkpoint_meta_falls_back(self, tmp_path):
+        """checkpoint/ exists but meta.bin is cut short: recovery must
+        use the retired checkpoint.old, never trust the damaged one."""
+        db = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        ids = _workload(db)
+        db.checkpoint()  # old state of the world
+        with db.transaction() as txn:
+            db.set_vertex_property(txn, ids["a"], "v", 50)
+        db.checkpoint()
+        with db.transaction() as txn:
+            db.set_vertex_property(txn, ids["a"], "v", 51)
+        db.close()
+        # Damage the primary; resurrect the fallback a crashed swap
+        # would have left behind.
+        primary = tmp_path / "data" / CHECKPOINT_DIRNAME
+        retired = tmp_path / "data" / CHECKPOINT_OLD_DIRNAME
+        shutil.copytree(primary, retired)
+        meta = primary / "meta.bin"
+        meta.write_bytes(meta.read_bytes()[:7])
+        recovered = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        assert recovered.last_recovery.checkpoint_fallback
+        with recovered.transaction() as txn:
+            # v=50 came from the fallback snapshot, v=51 from the WAL.
+            assert recovered.get_vertex(txn, ids["a"]).properties["v"] == 51
+        recovered.close()
+
+    def test_truncated_checkpoint_meta_without_fallback_raises(self, tmp_path):
+        db = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        _workload(db)
+        db.checkpoint()
+        db.close()
+        meta = tmp_path / "data" / CHECKPOINT_DIRNAME / "meta.bin"
+        meta.write_bytes(meta.read_bytes()[:7])
+        # Silently starting fresh would drop committed data.
+        with pytest.raises(CorruptionError):
+            AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+
+    def test_double_close_is_idempotent(self, tmp_path):
+        db = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        ids = _workload(db)
+        db.close()
+        db.close()  # second close must be a no-op, not an error
+        recovered = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        with recovered.transaction() as txn:
+            assert recovered.get_vertex(txn, ids["a"]).properties["v"] == 3
+        recovered.close()
         recovered.close()
