@@ -1,0 +1,192 @@
+"""Overload survival: retry, admission control, deadlines, degraded mode.
+
+A tour of the transaction-lifecycle resilience features — how the
+engine behaves when everything goes wrong at once:
+
+1. a conflict storm: many writers hammer one counter through
+   ``run_transaction`` and not a single increment is lost;
+2. admission control: a bounded transaction gate queues the overflow
+   and rejects with ``OverloadError`` only past the queue deadline;
+3. a leaked transaction: the watchdog aborts it at its deadline, so
+   the GC watermark is unpinned and history migration resumes;
+4. a history-store outage: the circuit breaker trips, temporal reads
+   degrade to current-only answers (flagged), migration pauses with
+   requeue, and a half-open probe restores full service.
+
+Run with::
+
+    python examples/overload_survival.py
+"""
+
+import threading
+
+from repro import (
+    AeonG,
+    FAILPOINTS,
+    OverloadError,
+    ResilienceConfig,
+    RetryPolicy,
+    TemporalCondition,
+)
+
+
+class ManualClock:
+    """An advanceable clock — deadlines and breaker timeouts are measured
+    on ``ResilienceConfig.clock``, so examples and tests need not sleep."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def conflict_storm() -> None:
+    print("== 1. conflict storm: lost-update-free increments ==")
+    db = AeonG(gc_interval_transactions=0)
+    with db.transaction() as txn:
+        counter = db.create_vertex(txn, ["Counter"], {"n": 0})
+    policy = RetryPolicy(max_attempts=500, base_delay=0.0002, max_delay=0.005)
+
+    def bump(txn):
+        value = db.get_vertex(txn, counter).properties["n"]
+        db.set_vertex_property(txn, counter, "n", value + 1)
+
+    def worker():
+        for _ in range(25):
+            db.run_transaction(bump, policy=policy)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    with db.transaction() as txn:
+        final = db.get_vertex(txn, counter).properties["n"]
+    retries = db.metrics()["resilience"]["conflict_retries"]
+    print(f"4 threads x 25 increments -> n={final} ({retries} retries)")
+    assert final == 100
+
+
+def admission_control() -> None:
+    print("\n== 2. admission control: bounded concurrency ==")
+    db = AeonG(
+        gc_interval_transactions=0,
+        resilience=ResilienceConfig(
+            max_concurrent_transactions=2, admission_timeout=0.05
+        ),
+    )
+    first = db.begin()
+    second = db.begin()
+    try:
+        db.begin()
+    except OverloadError as exc:
+        print(f"third begin() rejected after the queue deadline: {exc}")
+    db.commit(first)
+    third = db.begin()  # a freed slot admits immediately
+    print("slot freed by commit -> next begin() admitted")
+    db.abort(second)
+    db.abort(third)
+    stats = db.metrics()["resilience"]["admission"]
+    print(f"admission stats: admitted={stats['admitted']} "
+          f"rejected={stats['rejected']}")
+
+
+def leaked_transaction() -> None:
+    print("\n== 3. leaked transaction: the watchdog unpins GC ==")
+    clock = ManualClock()
+    db = AeonG(
+        gc_interval_transactions=0,
+        anchor_interval=2,
+        resilience=ResilienceConfig(watchdog_interval=0, clock=clock),
+    )
+    with db.transaction() as txn:
+        gid = db.create_vertex(txn, ["Doc"], {"rev": 0})
+    db.collect_garbage()  # reclaim the creation before the leak
+
+    leaked = db.begin(timeout=5.0)  # ...and never committed or aborted
+    for rev in (1, 2, 3):
+        with db.transaction() as txn:
+            db.set_vertex_property(txn, gid, "rev", rev)
+    print(f"leaked snapshot pins the watermark: "
+          f"collect_garbage() reclaimed {db.collect_garbage()} deltas")
+
+    clock.advance(6.0)  # a real deployment just waits out the deadline
+    aborted = db.sweep_expired()
+    reclaimed = db.collect_garbage()
+    print(f"watchdog aborted {aborted} zombie -> {reclaimed} deltas migrated")
+    assert reclaimed > 0 and not leaked.is_active
+
+
+def degraded_mode() -> None:
+    print("\n== 4. history-store outage: breaker + degraded reads ==")
+    clock = ManualClock()
+    db = AeonG(
+        gc_interval_transactions=0,
+        anchor_interval=2,
+        resilience=ResilienceConfig(
+            breaker_failure_threshold=2,
+            breaker_reset_timeout=30.0,
+            degraded_reads="current-only",
+            clock=clock,
+        ),
+    )
+    with db.transaction() as txn:
+        gid = db.create_vertex(txn, ["Doc"], {"rev": 0})
+    t_created = db.now()
+    for rev in (1, 2):
+        with db.transaction() as txn:
+            db.set_vertex_property(txn, gid, "rev", rev)
+    db.collect_garbage()  # old revisions now live only in the KV store
+
+    def old_revision():
+        txn = db.begin()
+        try:
+            views = list(
+                db.vertex_versions(
+                    txn, gid, TemporalCondition.as_of(t_created - 1)
+                )
+            )
+            return views[0].properties["rev"] if views else None
+        finally:
+            db.abort(txn)
+
+    print(f"healthy: revision as of creation = {old_revision()}")
+    FAILPOINTS.activate("history.fetch", "error", times=None)
+    for attempt in (1, 2):
+        try:
+            old_revision()
+        except Exception as exc:
+            print(f"history fetch {attempt} failed: {type(exc).__name__}")
+    state = db.metrics()["resilience"]["breaker"]["state"]
+    print(f"breaker state: {state}")
+
+    # Degraded service: current reads fine, temporal reads current-only.
+    with db.transaction() as txn:
+        db.set_vertex_property(txn, gid, "rev", 3)  # writes still land
+    rows = db.execute(f"MATCH (n) TT SNAPSHOT {t_created - 1} RETURN n.rev")
+    print(f"degraded temporal query -> {rows} "
+          f"(last_read_degraded={db.last_read_degraded})")
+
+    FAILPOINTS.clear()  # the outage ends...
+    clock.advance(31.0)  # ...and the reset timeout elapses: next read probes
+    print(f"after recovery probe: revision as of creation = {old_revision()}")
+    breaker = db.metrics()["resilience"]["breaker"]
+    print(f"breaker state: {breaker['state']} "
+          f"(trips={breaker['trips']}, probes={breaker['probes']})")
+    assert breaker["state"] == "closed"
+
+
+def main() -> None:
+    conflict_storm()
+    admission_control()
+    leaked_transaction()
+    degraded_mode()
+    print("\nAll overload scenarios survived.")
+
+
+if __name__ == "__main__":
+    main()

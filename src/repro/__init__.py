@@ -22,8 +22,15 @@ from repro.core.temporal import (
     Interval,
     TemporalCondition,
 )
-from repro.errors import ReproError
+from repro.errors import (
+    DegradedModeError,
+    OverloadError,
+    ReproError,
+    SerializationConflict,
+    TransactionTimeout,
+)
 from repro.faults import FAILPOINTS, SimulatedCrash, StorageIO
+from repro.resilience import ResilienceConfig, RetryPolicy
 
 __version__ = "1.0.0"
 
@@ -36,6 +43,12 @@ __all__ = [
     "StorageReport",
     "RecoveryReport",
     "ReproError",
+    "SerializationConflict",
+    "TransactionTimeout",
+    "OverloadError",
+    "DegradedModeError",
+    "ResilienceConfig",
+    "RetryPolicy",
     "FAILPOINTS",
     "SimulatedCrash",
     "StorageIO",

@@ -46,15 +46,19 @@ from repro.core.temporal import (
 )
 from repro.errors import (
     ConstraintViolation,
+    DegradedModeError,
     QueryError,
+    SerializationConflict,
     StorageError,
     TemporalError,
+    TransactionError,
 )
 from repro.graph.storage import GraphStorage
 from repro.graph.views import EdgeView, VertexView
 from repro.kvstore import KVStore
 from repro.mvcc.gc import GarbageCollector
 from repro.mvcc.transaction import Transaction
+from repro.resilience import ResilienceConfig, ResilienceController, RetryPolicy
 
 
 class AeonG:
@@ -91,6 +95,14 @@ class AeonG:
         ``"fsync"`` syncs every WAL append and checkpoint file to the
         device before acknowledging; ``"flush"`` (default) stops at the
         OS buffer — fast, surviving process death but not power loss.
+    resilience:
+        A :class:`~repro.resilience.ResilienceConfig` tuning conflict
+        retry, transaction deadlines (``max_transaction_age`` and the
+        watchdog), admission control
+        (``max_concurrent_transactions``), and the history-store
+        circuit breaker / degraded-read policy.  ``None`` applies the
+        defaults (no admission limit, no engine-wide deadline, breaker
+        armed with a 5-failure threshold).
     """
 
     def __init__(
@@ -103,6 +115,7 @@ class AeonG:
         kv: Optional[KVStore] = None,
         durability_dir=None,
         durability_mode: str = "flush",
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         from repro.faults import StorageIO
 
@@ -111,14 +124,16 @@ class AeonG:
         self.enforce_vt_constraints = enforce_vt_constraints
         self.durability_mode = durability_mode
         self._storage_io = StorageIO(durability_mode)
+        self.resilience = ResilienceController(resilience)
         self.storage = GraphStorage()
         self.manager = self.storage.manager
         self.history = HistoricalStore(kv)
+        self.history.resilience = self.resilience
         self.anchor_policy = AnchorPolicy(anchor_interval)
         self.migrator = Migrator(self.storage, self.history, self.anchor_policy)
         self.gc = GarbageCollector(
             self.manager,
-            migrate_hook=self.migrator.migrate if temporal else None,
+            migrate_hook=self._migrate_guarded if temporal else None,
             reclaim_object_hook=self._reclaim_record,
         )
         self.operators = TemporalOperators(self.storage, self.history)
@@ -129,6 +144,10 @@ class AeonG:
         self._gc_stop: Optional[threading.Event] = None
         self._gc_bg_errors = 0
         self._gc_bg_last_error: Optional[str] = None
+        self._gc_deferred_errors = 0
+        self._watchdog_thread: Optional[threading.Thread] = None
+        self._watchdog_stop: Optional[threading.Event] = None
+        self._closed = False
         self._wal = None
         self._durability_dir = None
         #: RecoveryReport from :meth:`open`, None for a fresh engine.
@@ -143,9 +162,41 @@ class AeonG:
 
     # -- transactions -------------------------------------------------------
 
-    def begin(self) -> Transaction:
-        """Start a snapshot-isolation transaction."""
-        return self.manager.begin()
+    def begin(self, timeout: Optional[float] = None) -> Transaction:
+        """Start a snapshot-isolation transaction.
+
+        ``timeout`` (seconds) sets a deadline for *this* transaction;
+        without one, the engine's ``max_transaction_age`` (if
+        configured) applies.  A transaction past its deadline is
+        aborted by the watchdog so it cannot pin the GC watermark, and
+        the owner's next operation raises
+        :class:`~repro.errors.TransactionTimeout`.
+
+        With admission control configured
+        (``max_concurrent_transactions``), ``begin`` waits in a FIFO
+        queue for a free slot and raises
+        :class:`~repro.errors.OverloadError` past the queue deadline.
+        """
+        if self._closed:
+            raise StorageError("engine is closed")
+        ctrl = self.resilience
+        gate = ctrl.gate
+        if gate is not None:
+            gate.acquire()
+        try:
+            txn = self.manager.begin()
+        except BaseException:
+            if gate is not None:
+                gate.release()
+            raise
+        if gate is not None:
+            txn.on_commit(lambda _ts: gate.release())
+            txn.on_abort(gate.release)
+        age = timeout if timeout is not None else ctrl.config.max_transaction_age
+        if age is not None:
+            txn.deadline = ctrl.clock() + age
+            self._ensure_watchdog()
+        return txn
 
     def commit(self, txn: Transaction) -> int:
         """Commit; returns the commit timestamp (= the new TT.st)."""
@@ -161,7 +212,16 @@ class AeonG:
             if due:
                 self._commits_since_gc = 0
         if due:
-            self.collect_garbage()
+            try:
+                self.collect_garbage()
+            except StorageError as exc:
+                # The transaction is already durably committed; a
+                # failed *epoch* must not read as a failed commit.  The
+                # epoch's transactions were requeued (no history loss)
+                # and the breaker counted the failure — record and
+                # move on.
+                self._gc_deferred_errors += 1
+                self._gc_bg_last_error = repr(exc)
         return commit_ts
 
     def abort(self, txn: Transaction) -> None:
@@ -169,10 +229,17 @@ class AeonG:
         self.manager.abort(txn)
 
     @contextmanager
-    def transaction(self):
+    def transaction(self, timeout: Optional[float] = None):
         """``with db.transaction() as txn`` — commit on success,
-        roll back on exception."""
-        txn = self.begin()
+        roll back on exception.
+
+        Retry-friendly: if the commit itself fails (e.g. a
+        :class:`~repro.errors.SerializationConflict`), the transaction
+        is cleanly aborted before the original exception propagates —
+        never left active to pin the GC watermark, and never
+        double-aborted.
+        """
+        txn = self.begin(timeout=timeout)
         try:
             yield txn
         except BaseException:
@@ -181,7 +248,121 @@ class AeonG:
             raise
         else:
             if txn.is_active:
-                self.commit(txn)
+                try:
+                    self.commit(txn)
+                except BaseException:
+                    if txn.is_active:
+                        try:
+                            self.abort(txn)
+                        except TransactionError:
+                            pass  # never mask the commit failure
+                    raise
+
+    def run_transaction(
+        self,
+        fn,
+        policy: Optional[RetryPolicy] = None,
+        timeout: Optional[float] = None,
+    ):
+        """Run ``fn(txn)`` in a transaction, retrying serialization
+        conflicts; returns ``fn``'s result.
+
+        The closure is re-executed from a fresh snapshot after each
+        :class:`~repro.errors.SerializationConflict` (whether raised
+        from a write or from the commit), waiting per ``policy`` —
+        capped exponential backoff with jitter,
+        ``ResilienceConfig.retry`` by default.  ``fn`` must therefore
+        be safe to re-run; all other exceptions roll back and propagate
+        immediately.  Once ``policy.max_attempts`` attempts are
+        exhausted the last conflict is re-raised.
+        """
+        ctrl = self.resilience
+        if policy is None:
+            policy = ctrl.config.retry
+        attempt = 0
+        retried = False
+        while True:
+            attempt += 1
+            txn = self.begin(timeout=timeout)
+            try:
+                result = fn(txn)
+                if txn.is_active:
+                    self.commit(txn)
+                return result
+            except SerializationConflict:
+                if txn.is_active:
+                    self.abort(txn)
+                ctrl.note_conflict_retry()
+                if not retried:
+                    retried = True
+                    ctrl.note_transaction_retried()
+                if attempt >= policy.max_attempts:
+                    ctrl.note_retries_exhausted()
+                    raise
+                policy.backoff(attempt)
+            except BaseException:
+                if txn.is_active:
+                    self.abort(txn)
+                raise
+
+    # -- deadlines / watchdog ----------------------------------------------
+
+    def sweep_expired(self) -> int:
+        """Abort every active transaction past its deadline; returns
+        the number aborted.
+
+        This is the watchdog's work function — exposed so tests (and
+        deployments with their own schedulers) can run it
+        deterministically.  An aborted transaction stops pinning
+        ``oldest_active_start_ts()``, so the next GC epoch can reclaim
+        and migrate everything it was holding back.
+        """
+        now = self.resilience.clock()
+        aborted = 0
+        for txn in self.manager.expired_transactions(now):
+            txn.expired = True
+            try:
+                self.manager.abort(txn)
+            except TransactionError:
+                txn.expired = False  # lost the race with commit/abort
+                continue
+            aborted += 1
+        if aborted:
+            self.resilience.note_watchdog_aborts(aborted)
+        return aborted
+
+    def _ensure_watchdog(self) -> None:
+        """Start the deadline-watchdog daemon (idempotent).
+
+        ``ResilienceConfig.watchdog_interval == 0`` disables the
+        thread; deadlines are then enforced only by explicit
+        :meth:`sweep_expired` calls.
+        """
+        interval = self.resilience.config.watchdog_interval
+        if interval <= 0 or self._closed:
+            return
+        if self._watchdog_thread is not None and self._watchdog_thread.is_alive():
+            return
+        self._watchdog_stop = threading.Event()
+        stop = self._watchdog_stop
+
+        def loop() -> None:
+            while not stop.wait(interval):
+                try:
+                    self.sweep_expired()
+                except Exception:  # noqa: BLE001 — the watchdog must survive
+                    pass
+
+        self._watchdog_thread = threading.Thread(target=loop, daemon=True)
+        self._watchdog_thread.start()
+
+    def _stop_watchdog(self) -> None:
+        if self._watchdog_thread is None:
+            return
+        self._watchdog_stop.set()
+        self._watchdog_thread.join()
+        self._watchdog_thread = None
+        self._watchdog_stop = None
 
     def now(self) -> int:
         """The next commit timestamp the engine would assign; queries
@@ -246,17 +427,43 @@ class AeonG:
         self._gc_thread.start()
 
     def stop_background_gc(self) -> None:
-        """Stop the background collector and run one final epoch."""
+        """Stop the background collector and run one final epoch
+        (skipped when the engine is already closed)."""
         if self._gc_thread is None:
             return
         self._gc_stop.set()
         self._gc_thread.join()
         self._gc_thread = None
-        self.gc.collect()
+        if not self._closed:
+            self.gc.collect()
 
     def _reclaim_record(self, record) -> None:
         self.storage.drop_record(record)
         self.migrator.forget_object(record.kind, record.gid)
+
+    def _migrate_guarded(self, transactions) -> int:
+        """``Migrate(CT)`` behind the history-store circuit breaker.
+
+        While the breaker is open, raises
+        :class:`~repro.errors.DegradedModeError` — the GC treats that
+        as "pause": it requeues the epoch's transactions and reports a
+        clean zero-work epoch.  Storage failures feed the breaker; once
+        the reset timeout elapses the next epoch runs as the half-open
+        probe, and its success restores full migration.
+        """
+        ctrl = self.resilience
+        if not ctrl.breaker.allow():
+            ctrl.note_migration_paused()
+            raise DegradedModeError(
+                "migration paused: history-store circuit breaker is open"
+            )
+        try:
+            staged = self.migrator.migrate(transactions)
+        except StorageError:
+            ctrl.history_failed()
+            raise
+        ctrl.history_ok()
+        return staged
 
     # -- writes (current store) ------------------------------------------------
 
@@ -542,17 +749,21 @@ class AeonG:
             "gc": {
                 "runs": self.gc.runs,
                 "deltas_reclaimed": self.gc.deltas_reclaimed,
+                "epochs_paused": self.gc.epochs_paused,
                 "background_running": self._gc_thread is not None
                 and self._gc_thread.is_alive(),
                 "background_errors": self._gc_bg_errors,
                 "background_last_error": self._gc_bg_last_error,
+                "deferred_errors": self._gc_deferred_errors,
             },
             "migration": {
                 "epochs": self.migrator.migrations,
+                "failed_epochs": self.migrator.failed_epochs,
                 "transactions_migrated": self.migrator.transactions_migrated,
                 "records_written": self.history.records_written,
                 "anchors_written": self.history.anchors_written,
             },
+            "resilience": self.resilience.metrics(),
             "history_kv": {
                 "puts": kv_stats.puts,
                 "gets": kv_stats.gets,
@@ -603,8 +814,20 @@ class AeonG:
 
         if txn is not None:
             return execute_query(self, txn, query, parameters)
-        with self.transaction() as own:
-            return execute_query(self, own, query, parameters)
+        # An implicit transaction is re-runnable by construction (the
+        # whole statement re-executes from a fresh snapshot), so route
+        # it through the conflict-retry loop.
+        return self.run_transaction(
+            lambda own: execute_query(self, own, query, parameters)
+        )
+
+    @property
+    def last_read_degraded(self) -> bool:
+        """Whether this thread's latest statement fell back to
+        current-only results because the history store is degraded
+        (``degraded_reads="current-only"``).  Cleared at the start of
+        each :meth:`execute` call."""
+        return self.resilience.last_read_degraded
 
     # -- durability (write-ahead log) --------------------------------------------
 
@@ -678,8 +901,19 @@ class AeonG:
         return open_engine(directory, **engine_kwargs)
 
     def close(self) -> None:
-        """Stop background work and close the WAL (idempotent)."""
+        """Stop background work and close the WAL (idempotent).
+
+        Ordering matters: the background GC thread is stopped *first*
+        (its final epoch still runs against the open engine), then the
+        watchdog, then the WAL.  After ``close()`` returns, further
+        :meth:`begin` calls raise :class:`~repro.errors.StorageError`
+        and a second ``close()`` is a no-op.
+        """
+        if self._closed:
+            return
         self.stop_background_gc()
+        self._stop_watchdog()
+        self._closed = True
         if self._wal is not None:
             self._wal.close()
             self._wal = None

@@ -16,6 +16,8 @@ from typing import Iterator, Optional
 
 from repro.common.timeutil import MAX_TIMESTAMP
 from repro.core import keys as history_keys
+from repro.errors import StorageError
+from repro.faults import FAILPOINTS
 from repro.core.deltas import RecordDraft, decode_payload
 from repro.core.reconstruct import (
     apply_content_record,
@@ -26,6 +28,8 @@ from repro.core.reconstruct import (
 from repro.core.temporal import TemporalCondition
 from repro.graph.views import EdgeView, VertexView, _copy_view as _clone
 from repro.kvstore import KVStore, WriteBatch
+
+FAILPOINTS.register("history.fetch")
 
 
 def _merge_mentions(payload: dict, labels: set, values: dict) -> None:
@@ -48,6 +52,10 @@ class HistoricalStore:
 
     def __init__(self, kv: Optional[KVStore] = None) -> None:
         self.kv = kv if kv is not None else KVStore()
+        #: the owning engine's ResilienceController (or None): gates
+        #: fetches through the history-store circuit breaker and feeds
+        #: it success/failure observations
+        self.resilience = None
         self.records_written = 0
         self.anchors_written = 0
         self.reconstructions = 0
@@ -156,7 +164,38 @@ class HistoricalStore:
         starts from when no anchor supersedes it.  Pass ``None`` for
         objects with no current-store record left.  Yields newest
         version first; a time-point caller can stop at the first hit.
+
+        Routed through the engine's history-store circuit breaker when
+        one is attached: while the breaker is open the fetch degrades
+        per the ``degraded_reads`` policy (raise
+        :class:`~repro.errors.DegradedModeError`, or yield nothing so
+        callers serve current-only results), and every KV failure or
+        success feeds the breaker.  The ``history.fetch`` failpoint
+        fires here so tests can inject deterministic store failures.
         """
+        ctrl = self.resilience
+        if ctrl is not None and not ctrl.allow_history_read():
+            return iter(())
+        try:
+            FAILPOINTS.check("history.fetch")
+            versions = list(
+                self._fetch_versions(object_kind, gid, cond, base_view)
+            )
+        except StorageError:
+            if ctrl is not None:
+                ctrl.history_failed()
+            raise
+        if ctrl is not None:
+            ctrl.history_ok()
+        return iter(versions)
+
+    def _fetch_versions(
+        self,
+        object_kind: str,
+        gid: int,
+        cond: TemporalCondition,
+        base_view=None,
+    ) -> Iterator:
         segment = (
             history_keys.SEGMENT_VERTEX
             if object_kind == "vertex"

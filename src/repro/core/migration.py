@@ -40,6 +40,9 @@ class Migrator:
         )
         self.migrations = 0
         self.transactions_migrated = 0
+        #: epochs whose atomic install failed and was rolled back (the
+        #: transactions were requeued by the GC; nothing was lost)
+        self.failed_epochs = 0
         #: newest migrated *content* version-end per object.  An
         #: anchor's interval is its content validity: it starts where
         #: the previous content record ended.  (Topology records track
@@ -101,6 +104,7 @@ class Migrator:
             self._last_content_end = content_end_before
             self.anchor_policy.restore(anchor_state_before)
             self.history.invalidate_caches()
+            self.failed_epochs += 1
             raise
         self.migrations += 1
         return staged

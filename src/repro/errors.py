@@ -50,6 +50,36 @@ class TransactionStateError(TransactionError):
     """An operation was attempted on a finished or unknown transaction."""
 
 
+class TransactionTimeout(TransactionAborted):
+    """The transaction outlived its deadline and was aborted by the
+    watchdog.
+
+    Raised on the *next* operation the owner attempts: the watchdog
+    rolled the transaction back in the background (so a leaked
+    ``begin()`` cannot pin the GC watermark forever), and the owner
+    learns about it here.
+    """
+
+
+class OverloadError(TransactionError):
+    """Admission control rejected the transaction.
+
+    The engine's concurrent-transaction gate was full and the request
+    waited past the queue deadline.  Backpressure, not a bug: retry
+    later or shed the work.
+    """
+
+
+class DegradedModeError(ReproError):
+    """The history store is unavailable and the engine is degraded.
+
+    While the history-store circuit breaker is open, temporal reads
+    raise this (under ``degraded_reads="raise"``) and migration epochs
+    pause (their transactions stay requeued — no history is lost).
+    Current-store reads and writes keep working throughout.
+    """
+
+
 class GraphError(ReproError):
     """Base class for graph-layer failures."""
 

@@ -114,6 +114,10 @@ class GraphStorage:
         action: DeltaAction,
         payload: Any,
     ) -> Delta:
+        # Fail before touching the record: a transaction the watchdog
+        # aborted in the background must not chain a dangling delta
+        # (the owner gets TransactionTimeout here instead).
+        txn.check_active()
         structural = action in (
             DeltaAction.ADD_OUT_EDGE,
             DeltaAction.ADD_IN_EDGE,

@@ -15,6 +15,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Optional
 
+from repro.errors import DegradedModeError
 from repro.mvcc.manager import TransactionManager
 from repro.mvcc.transaction import Transaction
 
@@ -54,6 +55,10 @@ class GarbageCollector:
         self._lock = threading.Lock()
         self.runs = 0
         self.deltas_reclaimed = 0
+        #: epochs skipped because the history store was degraded (the
+        #: migrate hook raised ``DegradedModeError``); their
+        #: transactions stay requeued until the breaker half-opens.
+        self.epochs_paused = 0
 
     def collect(self) -> int:
         """Run one garbage-collection epoch; returns #deltas reclaimed.
@@ -73,6 +78,16 @@ class GarbageCollector:
             if self._migrate_hook is not None:
                 try:
                     self._migrate_hook(reclaimable)
+                except DegradedModeError:
+                    # The history store is circuit-broken: migration is
+                    # *paused*, not failed.  Requeue and report a clean
+                    # zero-work epoch so user-facing paths (the commit
+                    # trigger, manual collect) keep succeeding while
+                    # the store is down.
+                    self._manager.committed_pending_gc[:0] = reclaimable
+                    self.epochs_paused += 1
+                    self.runs += 1
+                    return 0
                 except BaseException:
                     # take_reclaimable() popped these transactions; if
                     # migration failed (I/O error, injected fault) their

@@ -125,6 +125,25 @@ class TransactionManager:
         with self._lock:
             return len(self._active)
 
+    def active_transactions(self) -> list[Transaction]:
+        """A snapshot of the currently active transactions."""
+        with self._lock:
+            return list(self._active.values())
+
+    def expired_transactions(self, now: float) -> list[Transaction]:
+        """Active transactions whose deadline has passed at ``now``.
+
+        The watchdog's selection step: every returned transaction is
+        still pinning the GC watermark at :meth:`oldest_active_start_ts`
+        and is a candidate for a background abort.
+        """
+        with self._lock:
+            return [
+                txn
+                for txn in self._active.values()
+                if txn.deadline is not None and txn.deadline <= now
+            ]
+
     def oldest_active_start_ts(self) -> int:
         """Snapshot watermark: versions older than this are reclaimable.
 

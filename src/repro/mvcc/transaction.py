@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 from typing import Any, Callable, Optional
 
-from repro.errors import TransactionStateError
+from repro.errors import TransactionStateError, TransactionTimeout
 from repro.mvcc.delta import Delta, DeltaAction
 
 
@@ -54,6 +54,13 @@ class Transaction:
         self.id = transaction_id
         self.start_ts = start_ts
         self.commit_info = CommitInfo(transaction_id)
+        #: wall-clock instant (engine resilience clock) past which the
+        #: watchdog may abort this transaction; ``None`` = no deadline
+        self.deadline: Optional[float] = None
+        #: set by the watchdog just before it aborts an expired
+        #: transaction, so the owner's next operation raises
+        #: :class:`TransactionTimeout` instead of a generic state error
+        self.expired = False
         self.undo_buffer: list[tuple[Any, Delta]] = []
         #: logical operations for the engine's write-ahead log (only
         #: populated when the engine runs with durability enabled)
@@ -79,6 +86,11 @@ class Transaction:
 
     def check_active(self) -> None:
         if not self.is_active:
+            if self.expired:
+                raise TransactionTimeout(
+                    f"transaction {self.id} exceeded its deadline and was "
+                    "aborted by the watchdog"
+                )
             raise TransactionStateError(
                 f"transaction {self.id} is {self.status.value}"
             )

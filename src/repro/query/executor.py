@@ -27,7 +27,17 @@ def execute_query(
     text: str,
     parameters: Optional[dict[str, Any]] = None,
 ) -> list[dict[str, Any]]:
-    """Parse, plan and run one statement inside ``txn``."""
+    """Parse, plan and run one statement inside ``txn``.
+
+    Statement boundaries scope the engine's degraded-read flag: the
+    flag is cleared here, and set again only if this statement's
+    temporal reads fall back to current-only results while the
+    history-store breaker is open — so ``engine.last_read_degraded``
+    answers the question for the statement that just ran.
+    """
+    controller = getattr(engine, "resilience", None)
+    if controller is not None:
+        controller.clear_degraded_flag()
     query = parse(text)
     plan = plan_query(query, engine)
     cond = _temporal_condition(engine, plan, parameters)

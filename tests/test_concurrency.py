@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import threading
 
-from repro import AeonG, TemporalCondition
+from repro import AeonG, ResilienceConfig, RetryPolicy, TemporalCondition
 from repro.errors import SerializationConflict
 
 
@@ -97,6 +97,79 @@ def test_counter_increments_never_lost():
         t.join()
     with db.transaction() as txn:
         assert db.get_vertex(txn, gid).properties["n"] == 80
+
+
+def test_run_transaction_storm_exact_total():
+    """Same contract as the manual retry loop above, but through the
+    engine's run_transaction retry driver: no increment may be lost or
+    double-applied under a deliberate conflict storm."""
+    db = AeonG(gc_interval_transactions=0)
+    with db.transaction() as txn:
+        gid = db.create_vertex(txn, ["C"], {"n": 0})
+    n_threads, increments = 5, 20
+    policy = RetryPolicy(max_attempts=500, base_delay=0.0002, max_delay=0.005)
+    errors = []
+
+    def worker():
+        try:
+            for _ in range(increments):
+                db.run_transaction(
+                    lambda txn: db.set_vertex_property(
+                        txn, gid, "n", db.get_vertex(txn, gid).properties["n"] + 1
+                    ),
+                    policy=policy,
+                )
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    with db.transaction() as txn:
+        assert db.get_vertex(txn, gid).properties["n"] == n_threads * increments
+    metrics = db.metrics()["resilience"]
+    assert metrics["retries_exhausted"] == 0
+
+
+def test_admission_gate_under_concurrent_load():
+    """With fewer slots than writers, every transaction still commits —
+    the gate queues rather than rejects when the deadline is generous."""
+    db = AeonG(
+        gc_interval_transactions=0,
+        resilience=ResilienceConfig(
+            max_concurrent_transactions=2, admission_timeout=10.0
+        ),
+    )
+    gids = []
+    with db.transaction() as txn:
+        for i in range(6):
+            gids.append(db.create_vertex(txn, ["C"], {"slot": i, "v": 0}))
+    errors = []
+
+    def worker(gid):
+        try:
+            for value in range(10):
+                with db.transaction() as txn:
+                    db.set_vertex_property(txn, gid, "v", value)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(g,)) for g in gids]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    with db.transaction() as txn:
+        for gid in gids:
+            assert db.get_vertex(txn, gid).properties["v"] == 9
+    metrics = db.metrics()["resilience"]["admission"]
+    assert metrics["rejected"] == 0
+    assert metrics["in_flight"] == 0
+    assert metrics["admitted"] >= 6 * 10
 
 
 def test_readers_stable_while_gc_runs():

@@ -309,13 +309,39 @@ class TestErrorOnlySites:
         with pytest.raises(FaultInjected):
             SSTable.decode(data)
 
+    def test_history_fetch_fault_is_surfaced(self):
+        """history.fetch fires on the temporal *read* path; the error
+        mode surfaces cleanly and a retried read succeeds (breaker
+        behaviour is covered in tests/test_resilience.py)."""
+        from repro import TemporalCondition
+
+        db = AeonG(gc_interval_transactions=0)
+        with db.transaction() as txn:
+            gid = db.create_vertex(txn, ["H"], {"v": 0})
+        stamp = db.now()
+        with db.transaction() as txn:
+            db.set_vertex_property(txn, gid, "v", 1)
+        db.collect_garbage()
+        txn = db.begin()
+        try:
+            FAILPOINTS.activate("history.fetch", "error")
+            with pytest.raises(FaultInjected):
+                list(db.vertex_versions(txn, gid, TemporalCondition.as_of(stamp - 1)))
+            FAILPOINTS.clear()
+            views = list(
+                db.vertex_versions(txn, gid, TemporalCondition.as_of(stamp - 1))
+            )
+            assert views and views[0].properties["v"] == 0
+        finally:
+            db.abort(txn)
+
 
 # -- coverage completeness --------------------------------------------------
 
 #: Sites whose only sensible exercise is the error mode: they fire on
 #: the *read* path (including during recovery itself), where "crash"
 #: degenerates to "the open failed" rather than a durability question.
-ERROR_ONLY_SITES = {"kv.sstable.decode"}
+ERROR_ONLY_SITES = {"kv.sstable.decode", "history.fetch"}
 
 #: Sites exercised by a bespoke scenario above rather than the
 #: parametrized loops.
