@@ -24,12 +24,14 @@ from repro.core.temporal import (
 )
 from repro.errors import (
     DegradedModeError,
+    IntegrityError,
     OverloadError,
     ReproError,
     SerializationConflict,
     TransactionTimeout,
 )
 from repro.faults import FAILPOINTS, SimulatedCrash, StorageIO
+from repro.integrity import IntegrityReport, Scrubber
 from repro.resilience import ResilienceConfig, RetryPolicy
 
 __version__ = "1.0.0"
@@ -47,6 +49,9 @@ __all__ = [
     "TransactionTimeout",
     "OverloadError",
     "DegradedModeError",
+    "IntegrityError",
+    "IntegrityReport",
+    "Scrubber",
     "ResilienceConfig",
     "RetryPolicy",
     "FAILPOINTS",

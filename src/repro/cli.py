@@ -153,7 +153,111 @@ def run(
     return shell.engine
 
 
+def _open_for_verify(path: str) -> AeonG:
+    """Open a closed database directory for verification.
+
+    Accepts either an engine snapshot (``save()`` layout, ``meta.bin``
+    present) or a durability directory (WAL + optional checkpoint, the
+    ``durability_dir`` layout) — whichever the path turns out to be.
+    """
+    from pathlib import Path
+
+    directory = Path(path)
+    if not directory.is_dir():
+        raise ReproError(f"{path} is not a database directory")
+    if (directory / "meta.bin").exists():
+        return AeonG.load(directory)
+    return AeonG.open(directory)
+
+
+def _verify_main(argv: list[str]) -> int:
+    """``aeong verify`` — offline integrity check (fsck) of a database.
+
+    Exit status: 0 when the store verifies clean (warnings allowed),
+    1 when error findings remain, 2 when the database cannot be opened.
+    """
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro verify",
+        description=(
+            "Verify (and optionally repair) the history store of a saved "
+            "AeonG database: record checksums, interval tiling, anchor "
+            "replay, anchor cadence, and the current-store seam."
+        ),
+    )
+    parser.add_argument("path", help="snapshot or durability directory")
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the full IntegrityReport as JSON",
+    )
+    parser.add_argument(
+        "--repair", action="store_true",
+        help="repair what can be repaired and write the snapshot back "
+        "(snapshot directories only)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as failures (exit 1)",
+    )
+    options = parser.parse_args(argv)
+    try:
+        engine = _open_for_verify(options.path)
+    except ReproError as exc:
+        print(f"error: cannot open {options.path}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        engine.scrubber.auto_repair = options.repair
+        report = engine.scrub_full()
+        if options.repair:
+            from pathlib import Path
+
+            if (Path(options.path) / "meta.bin").exists():
+                engine.save(options.path)
+            else:
+                print(
+                    "note: --repair on a durability directory fixes the "
+                    "open engine only; checkpoint to persist",
+                    file=sys.stderr,
+                )
+        if options.as_json:
+            print(json.dumps(report.as_dict(), indent=2))
+        else:
+            summary = report.as_dict()
+            print(
+                f"checked {summary['gids_checked']} objects, "
+                f"{summary['records_checked']} records "
+                f"({summary['checksums_verified']} checksummed, "
+                f"{summary['legacy_records']} legacy)"
+            )
+            for finding in report.findings:
+                repair = f" [{finding.repair}]" if finding.repair else ""
+                print(
+                    f"{finding.severity}: {finding.code} "
+                    f"{finding.object_kind} gid={finding.gid} "
+                    f"tt=[{finding.tt_start},{finding.tt_end}) "
+                    f"{finding.detail}{repair}"
+                )
+            verdict = "clean" if report.ok else "FAILED"
+            print(
+                f"verify {verdict}: {len(report.errors())} error(s), "
+                f"{len(report.warnings())} warning(s), "
+                f"{summary['repairs_applied']} repair(s) applied"
+            )
+        if not report.ok:
+            return 1
+        if options.strict and report.warnings():
+            return 1
+        return 0
+    finally:
+        engine.close()
+
+
 def main(argv: Optional[list[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "verify":
+        return _verify_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Interactive shell for the AeonG temporal graph database",

@@ -22,14 +22,31 @@ Topology record (segment ``T``, keyed by the vertex gid)
     ``{"oa"/"ia": [[type, other, egid], ...], "or"/"ir": [...]}`` —
     out/in edge stubs to re-attach (``a``) or detach (``r``) when
     stepping backwards.
+
+Checksum envelope
+-----------------
+
+Every record value staged by ``Migrate()`` is wrapped in a 5-byte
+envelope: ``0x01 | crc32(body, 4 bytes BE) | body``.  The sstable
+footer only protects a table between encode and decode; the envelope
+protects the *record* end to end — a payload bit-flipped after the
+table checksum was computed (in the memtable, in a cache, by a buggy
+compaction) fails verification at decode time with
+:class:`~repro.errors.IntegrityError`.  The leading ``0x01`` byte is
+unambiguous because bare serde values always start with an ASCII tag
+letter, so records written before this format (no envelope) still
+decode — counted as *legacy* rather than rejected.
 """
 
 from __future__ import annotations
 
+import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.common.serde import decode_value, encode_value
+from repro.errors import IntegrityError
 from repro.core.keys import (
     SEGMENT_EDGE,
     SEGMENT_TOPOLOGY,
@@ -43,6 +60,55 @@ EXISTENCE_UNCHANGED = 0
 OLDER_EXISTS = 1  # the transaction deleted the object
 OLDER_MISSING = 2  # the transaction created the object
 
+#: First byte of a checksummed record value (serde tags are ASCII
+#: letters, so this never collides with a bare legacy payload).
+ENVELOPE_MAGIC = b"\x01"
+
+_ENVELOPE_CRC = struct.Struct(">I")
+ENVELOPE_OVERHEAD = len(ENVELOPE_MAGIC) + _ENVELOPE_CRC.size
+
+
+def encode_record_payload(payload: dict[str, Any]) -> bytes:
+    """Serialize a record payload inside the checksum envelope."""
+    body = encode_value(payload)
+    return ENVELOPE_MAGIC + _ENVELOPE_CRC.pack(zlib.crc32(body)) + body
+
+
+def decode_record_payload(data: bytes) -> tuple[dict[str, Any], bool]:
+    """Decode (and verify) a record value; inverse of
+    :func:`encode_record_payload`.
+
+    Returns ``(payload, checksummed)`` — ``checksummed`` is False for
+    legacy values written before the envelope existed, which still
+    decode (databases saved by older versions keep opening; callers
+    count them).  Raises :class:`~repro.errors.IntegrityError` on a
+    checksum mismatch or an undecodable body.
+    """
+    if data[:1] == ENVELOPE_MAGIC:
+        if len(data) < ENVELOPE_OVERHEAD:
+            raise IntegrityError("history record envelope truncated")
+        (expected,) = _ENVELOPE_CRC.unpack_from(data, 1)
+        body = data[ENVELOPE_OVERHEAD:]
+        if zlib.crc32(body) != expected:
+            raise IntegrityError(
+                "history record payload checksum mismatch "
+                f"(stored {expected:#010x}, computed {zlib.crc32(body):#010x})"
+            )
+        return _decode_body(body), True
+    return _decode_body(data), False
+
+
+def _decode_body(body: bytes) -> dict[str, Any]:
+    try:
+        payload = decode_value(body)
+    except IntegrityError:
+        raise
+    except Exception as exc:
+        raise IntegrityError(f"undecodable history record payload: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise IntegrityError("history record payload is not a mapping")
+    return payload
+
 
 @dataclass
 class RecordDraft:
@@ -55,14 +121,12 @@ class RecordDraft:
     payload: dict[str, Any] = field(default_factory=dict)
 
     def encode_payload(self) -> bytes:
-        return encode_value(self.payload)
+        return encode_record_payload(self.payload)
 
 
 def decode_payload(data: bytes) -> dict[str, Any]:
-    """Inverse of :meth:`RecordDraft.encode_payload`."""
-    payload = decode_value(data)
-    if not isinstance(payload, dict):
-        raise StorageError("history record payload is not a mapping")
+    """Inverse of :meth:`RecordDraft.encode_payload` (envelope-aware)."""
+    payload, _checksummed = decode_record_payload(data)
     return payload
 
 

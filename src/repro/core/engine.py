@@ -55,6 +55,7 @@ from repro.errors import (
 )
 from repro.graph.storage import GraphStorage
 from repro.graph.views import EdgeView, VertexView
+from repro.integrity import IntegrityReport, Scrubber
 from repro.kvstore import KVStore
 from repro.mvcc.gc import GarbageCollector
 from repro.mvcc.transaction import Transaction
@@ -137,11 +138,22 @@ class AeonG:
             reclaim_object_hook=self._reclaim_record,
         )
         self.operators = TemporalOperators(self.storage, self.history)
+        self.scrubber = Scrubber(
+            self.history,
+            storage=self.storage,
+            anchor_interval=anchor_interval,
+            resilience=self.resilience,
+        )
+        self.migrator.on_migrated = self.scrubber.note_migrated
         self._gc_interval = gc_interval_transactions
         self._commits_since_gc = 0
         self._gc_lock = threading.Lock()
         self._gc_thread: Optional[threading.Thread] = None
         self._gc_stop: Optional[threading.Event] = None
+        self._scrub_thread: Optional[threading.Thread] = None
+        self._scrub_stop: Optional[threading.Event] = None
+        self._scrub_bg_errors = 0
+        self._scrub_bg_last_error: Optional[str] = None
         self._gc_bg_errors = 0
         self._gc_bg_last_error: Optional[str] = None
         self._gc_deferred_errors = 0
@@ -436,6 +448,61 @@ class AeonG:
         self._gc_thread = None
         if not self._closed:
             self.gc.collect()
+
+    # -- integrity scrubbing ------------------------------------------------
+
+    def scrub(self, budget: Optional[int] = None) -> IntegrityReport:
+        """One incremental integrity pass over the history store.
+
+        Checks up to ``budget`` objects (freshly migrated ones first,
+        then resuming a round-robin cursor), repairing and quarantining
+        as needed; see :mod:`repro.integrity` and
+        ``metrics()["integrity"]``.
+        """
+        return self.scrubber.scrub(budget)
+
+    def scrub_full(self) -> IntegrityReport:
+        """Verify (and repair) every object in the history store."""
+        return self.scrubber.scrub_full()
+
+    def start_background_scrub(
+        self,
+        interval_seconds: float = 0.1,
+        budget: Optional[int] = None,
+        max_backoff_seconds: float = 2.0,
+    ) -> None:
+        """Run the integrity scrubber periodically on a daemon thread.
+
+        Same shape as :meth:`start_background_gc`: budgeted passes at a
+        fixed cadence, exceptions recorded and retried with capped
+        exponential backoff rather than killing the thread.
+        """
+        if self._scrub_thread is not None:
+            return
+        self._scrub_stop = threading.Event()
+
+        def loop() -> None:
+            delay = interval_seconds
+            while not self._scrub_stop.wait(delay):
+                try:
+                    self.scrubber.scrub(budget)
+                    delay = interval_seconds
+                except Exception as exc:  # noqa: BLE001 — record, back off, retry
+                    self._scrub_bg_errors += 1
+                    self._scrub_bg_last_error = repr(exc)
+                    delay = min(delay * 2, max_backoff_seconds)
+
+        self._scrub_thread = threading.Thread(target=loop, daemon=True)
+        self._scrub_thread.start()
+
+    def stop_background_scrub(self) -> None:
+        """Stop the background scrubber thread (no final pass — scrub
+        state is resumable, the next pass picks up where this left off)."""
+        if self._scrub_thread is None:
+            return
+        self._scrub_stop.set()
+        self._scrub_thread.join()
+        self._scrub_thread = None
 
     def _reclaim_record(self, record) -> None:
         self.storage.drop_record(record)
@@ -764,6 +831,13 @@ class AeonG:
                 "anchors_written": self.history.anchors_written,
             },
             "resilience": self.resilience.metrics(),
+            "integrity": {
+                **self.scrubber.metrics(),
+                "background_running": self._scrub_thread is not None
+                and self._scrub_thread.is_alive(),
+                "background_errors": self._scrub_bg_errors,
+                "background_last_error": self._scrub_bg_last_error,
+            },
             "history_kv": {
                 "puts": kv_stats.puts,
                 "gets": kv_stats.gets,
@@ -911,6 +985,7 @@ class AeonG:
         """
         if self._closed:
             return
+        self.stop_background_scrub()
         self.stop_background_gc()
         self._stop_watchdog()
         self._closed = True

@@ -16,9 +16,14 @@ from typing import Iterator, Optional
 
 from repro.common.timeutil import MAX_TIMESTAMP
 from repro.core import keys as history_keys
-from repro.errors import StorageError
-from repro.faults import FAILPOINTS
-from repro.core.deltas import RecordDraft, decode_payload
+from repro.errors import IntegrityError, StorageError
+from repro.faults import FAILPOINTS, MODE_CORRUPT, corrupt_bytes
+from repro.core.deltas import (
+    RecordDraft,
+    decode_record_payload,
+    encode_record_payload,
+)
+from repro.integrity import QuarantineSet
 from repro.core.reconstruct import (
     apply_content_record,
     apply_topology_record,
@@ -30,6 +35,35 @@ from repro.graph.views import EdgeView, VertexView, _copy_view as _clone
 from repro.kvstore import KVStore, WriteBatch
 
 FAILPOINTS.register("history.fetch")
+
+
+class _QuarantineDegrade(Exception):
+    """Internal control flow: a quarantined read degrading to
+    current-only results.  Deliberately *not* a StorageError — policy
+    degradation must not feed the circuit breaker."""
+
+
+class _CorruptPayload:
+    """Cache placeholder for a record value that failed its checksum.
+
+    Decode failures are deferred to the point a replay actually *needs*
+    the payload: a read whose range stops above the damaged record must
+    still succeed (the record's key intervals stay trustworthy, so
+    range filtering works), while any reconstruction that would step
+    through the damage raises the original
+    :class:`~repro.errors.IntegrityError`.
+    """
+
+    __slots__ = ("key", "error")
+
+    def __init__(self, key: bytes, error: IntegrityError) -> None:
+        self.key = key
+        self.error = error
+
+    def raise_(self) -> None:
+        raise IntegrityError(
+            f"history record {self.key.hex()} is unreadable: {self.error}"
+        )
 
 
 def _merge_mentions(payload: dict, labels: set, values: dict) -> None:
@@ -59,6 +93,13 @@ class HistoricalStore:
         self.records_written = 0
         self.anchors_written = 0
         self.reconstructions = 0
+        #: record payloads that passed / predated checksum verification
+        self.checksums_verified = 0
+        self.legacy_records = 0
+        #: transaction-time ranges the scrubber has found damaged and
+        #: not yet repaired; fetches overlapping them refuse to serve
+        #: silently-wrong reconstructions (see repro.integrity)
+        self.quarantine = QuarantineSet()
         # Which objects have any migrated record, by kind.  Scans use
         # this to skip the KV store entirely for never-migrated objects
         # (the overwhelmingly common case in a mostly-static graph).
@@ -82,7 +123,11 @@ class HistoricalStore:
     def _decode_cached(self, key: bytes, value: bytes) -> dict:
         payload = self._payload_cache.get(key)
         if payload is None:
-            payload = decode_payload(value)
+            payload, checksummed = decode_record_payload(value)
+            if checksummed:
+                self.checksums_verified += 1
+            else:
+                self.legacy_records += 1
             if len(self._payload_cache) >= self._PAYLOAD_CACHE_LIMIT:
                 self._payload_cache.clear()
             self._payload_cache[key] = payload
@@ -132,12 +177,10 @@ class HistoricalStore:
         payload: dict,
     ) -> None:
         """Add one full-state anchor record to a migration batch."""
-        from repro.common.serde import encode_value
-
         key = history_keys.encode_key(
             segment, history_keys.KIND_ANCHOR, gid, tt_start, tt_end
         )
-        batch.put(key, encode_value(payload))
+        batch.put(key, encode_record_payload(payload))
         self._cache_append(
             segment, history_keys.KIND_ANCHOR, gid, tt_start, tt_end, payload
         )
@@ -177,10 +220,27 @@ class HistoricalStore:
         if ctrl is not None and not ctrl.allow_history_read():
             return iter(())
         try:
-            FAILPOINTS.check("history.fetch")
+            mode = FAILPOINTS.check("history.fetch")
+            if mode == MODE_CORRUPT:
+                # At-rest bit rot: damage the stored value itself, so
+                # the failure surfaces where it would in production —
+                # the record's checksum verification at decode time.
+                self._corrupt_stored_record(object_kind, gid)
+            if self.quarantine.blocks(object_kind, gid, cond.t1, cond.t2):
+                if ctrl is None or ctrl.quarantined_read_raises():
+                    raise IntegrityError(
+                        f"{object_kind} gid={gid}: temporal read over a "
+                        "quarantined transaction-time range (awaiting "
+                        "scrub repair)"
+                    )
+                raise _QuarantineDegrade()
             versions = list(
                 self._fetch_versions(object_kind, gid, cond, base_view)
             )
+        except _QuarantineDegrade:
+            # degraded_reads="current-only": serve no historical
+            # versions rather than possibly-wrong ones
+            return iter(())
         except StorageError:
             if ctrl is not None:
                 ctrl.history_failed()
@@ -188,6 +248,28 @@ class HistoricalStore:
         if ctrl is not None:
             ctrl.history_ok()
         return iter(versions)
+
+    def _corrupt_stored_record(self, object_kind: str, gid: int) -> bool:
+        """Flip one bit in the object's first stored record value (the
+        ``corrupt`` mode of the ``history.fetch`` failpoint).  Returns
+        False when the object has no stored records to damage."""
+        segment = (
+            history_keys.SEGMENT_VERTEX
+            if object_kind == "vertex"
+            else history_keys.SEGMENT_EDGE
+        )
+        prefix = history_keys.object_prefix(
+            segment, history_keys.KIND_DELTA, gid
+        )
+        for key, value in self.kv.scan_prefix(prefix):
+            batch = WriteBatch()
+            batch.put(key, corrupt_bytes(value))
+            self.kv.write(batch)
+            # decoded payloads may already be cached; drop them so the
+            # damaged bytes are actually re-read and re-verified
+            self.invalidate_caches()
+            return True
+        return False
 
     def _fetch_versions(
         self,
@@ -240,6 +322,8 @@ class HistoricalStore:
 
     @staticmethod
     def _apply(view, segment: bytes, payload: dict, tt_start: int, tt_end: int) -> None:
+        if isinstance(payload, _CorruptPayload):
+            payload.raise_()
         if segment == history_keys.SEGMENT_TOPOLOGY:
             apply_topology_record(view, payload, tt_start, tt_end)
         else:
@@ -258,6 +342,8 @@ class HistoricalStore:
         anchor = self._seek_anchor(segment, gid, cond.t2)
         if anchor is not None:
             tt_start, tt_end, payload = anchor
+            if isinstance(payload, _CorruptPayload):
+                payload.raise_()
             if base_view is None or tt_end <= base_view.tt_start:
                 if object_kind == "vertex":
                     view = vertex_view_from_anchor(gid, payload, tt_start, tt_end)
@@ -297,9 +383,13 @@ class HistoricalStore:
             prefix = history_keys.object_prefix(segment, kind, gid)
             for key, value in self.kv.scan_prefix(prefix):
                 decoded = history_keys.decode_key(key)
-                records.append(
-                    (decoded.tt_start, decoded.tt_end, self._decode_cached(key, value))
-                )
+                try:
+                    payload = self._decode_cached(key, value)
+                except IntegrityError as exc:
+                    # Defer the failure: keys are still sound, so reads
+                    # that never replay through this record may proceed.
+                    payload = _CorruptPayload(key, exc)
+                records.append((decoded.tt_start, decoded.tt_end, payload))
             self._object_cache[cache_key] = records
         return records
 
@@ -413,6 +503,8 @@ class HistoricalStore:
             labels: set = set()
             values: dict = {}
             for payload in self.content_payloads("vertex", gid):
+                if isinstance(payload, _CorruptPayload):
+                    payload.raise_()
                 _merge_mentions(payload, labels, values)
             mentions = (labels, values)
             self._mention_cache[gid] = mentions
@@ -437,6 +529,8 @@ class HistoricalStore:
         )
         low = bisect.bisect_right(records, t1, key=lambda rec: rec[1])
         for _tt_start, _tt_end, payload in records[low:]:
+            if isinstance(payload, _CorruptPayload):
+                payload.raise_()
             for field in ("oa", "or"):
                 for ref in payload.get(field, ()):
                     out_refs.add((ref[0], ref[1], ref[2]))

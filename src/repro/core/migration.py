@@ -43,6 +43,10 @@ class Migrator:
         #: epochs whose atomic install failed and was rolled back (the
         #: transactions were requeued by the GC; nothing was lost)
         self.failed_epochs = 0
+        #: callback ``(object_kind, gid)`` invoked once per object
+        #: touched by a successfully installed epoch — the scrubber
+        #: hooks this to prioritize freshly written records
+        self.on_migrated = None
         #: newest migrated *content* version-end per object.  An
         #: anchor's interval is its content validity: it starts where
         #: the previous content record ended.  (Topology records track
@@ -75,6 +79,7 @@ class Migrator:
         )
         content_end_before = dict(self._last_content_end)
         anchor_state_before = self.anchor_policy.snapshot()
+        touched: set[tuple[str, int]] = set()
         try:
             for txn in ordered:
                 deltas = [delta for _record, delta in txn.undo_buffer]
@@ -86,6 +91,7 @@ class Migrator:
                 for draft in drafts:
                     self.history.stage_record(batch, draft)
                     staged += 1
+                    touched.add((self._object_kind(draft), draft.gid))
                     self._maybe_stage_anchor(batch, draft, anchored)
                 for draft in drafts:
                     if draft.segment != SEGMENT_TOPOLOGY:
@@ -107,6 +113,9 @@ class Migrator:
             self.failed_epochs += 1
             raise
         self.migrations += 1
+        if self.on_migrated is not None:
+            for object_kind, gid in sorted(touched):
+                self.on_migrated(object_kind, gid)
         return staged
 
     def forget_object(self, object_kind: str, gid: int) -> None:

@@ -25,6 +25,19 @@ class CorruptionError(KVStoreError):
     """On-disk or in-memory data failed an integrity check."""
 
 
+class IntegrityError(CorruptionError):
+    """A history record failed verification, or a temporal read touched
+    a quarantined transaction-time range.
+
+    Raised when a record's payload checksum does not match, when the
+    scrubber's invariant checks prove a reconstruction chain damaged,
+    and on temporal reads over a quarantined TT range (under
+    ``degraded_reads="raise"``; the ``current-only`` policy degrades
+    instead).  Derives from :class:`CorruptionError`, so it feeds the
+    history-store circuit breaker like any other storage failure.
+    """
+
+
 class FaultInjected(StorageError):
     """A deliberate I/O failure injected by an armed failpoint.
 

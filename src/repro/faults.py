@@ -28,6 +28,14 @@ Failure modes
     Bytes written since the last successful fsync are dropped (the
     "lost OS buffer"), then :class:`SimulatedCrash` is raised.  Only
     meaningful at sync sites.
+``corrupt``
+    Silent bit rot: the payload is deterministically damaged
+    (:func:`corrupt_bytes` flips one bit, or substitutes a byte for
+    empty payloads) and the operation *succeeds* — no exception, no
+    crash.  On write sites the damaged bytes land on disk; on read
+    sites (``kv.sstable.decode``, ``history.fetch``) the data read is
+    damaged before decoding.  This is the failure checksums exist to
+    catch: the caller learns nothing until an integrity check fires.
 
 Activation
 ----------
@@ -53,6 +61,7 @@ from __future__ import annotations
 import io as io_module
 import os
 import threading
+import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -64,8 +73,15 @@ MODE_ERROR = "error"
 MODE_CRASH = "crash"
 MODE_TORN_WRITE = "torn-write"
 MODE_PARTIAL_FSYNC = "partial-fsync"
+MODE_CORRUPT = "corrupt"
 
-MODES = (MODE_ERROR, MODE_CRASH, MODE_TORN_WRITE, MODE_PARTIAL_FSYNC)
+MODES = (
+    MODE_ERROR,
+    MODE_CRASH,
+    MODE_TORN_WRITE,
+    MODE_PARTIAL_FSYNC,
+    MODE_CORRUPT,
+)
 
 _ENV_VAR = "REPRO_FAILPOINTS"
 
@@ -214,9 +230,9 @@ class FailpointRegistry:
         """Hit ``site`` and raise for the simple modes.
 
         ``error`` raises :class:`~repro.errors.FaultInjected`; ``crash``
-        raises :class:`SimulatedCrash`.  ``torn-write`` and
-        ``partial-fsync`` are returned for the caller to apply their
-        partial effect before crashing.
+        raises :class:`SimulatedCrash`.  ``torn-write``,
+        ``partial-fsync`` and ``corrupt`` are returned for the caller
+        to apply their partial or silent effect.
         """
         mode = self.hit(site)
         if mode == MODE_ERROR:
@@ -264,6 +280,26 @@ def torn_prefix(data: bytes) -> bytes:
     return data[: len(data) // 2]
 
 
+def corrupt_bytes(data: bytes, seed: int = 0) -> bytes:
+    """Deterministically damage ``data`` (the ``corrupt`` mode's rot).
+
+    Flips one bit at a position derived from the payload's own CRC (so
+    the same input is always damaged the same way — reruns of a failing
+    test reproduce it exactly), choosing a bit that is guaranteed to
+    change the byte.  Empty input becomes a single junk byte, modelling
+    a truncated-then-scribbled sector.  ``seed`` varies the position
+    for tests that need several distinct corruptions of one payload.
+    """
+    if not data:
+        return b"\xff"
+    fingerprint = zlib.crc32(data) ^ (seed * 0x9E3779B1 & 0xFFFFFFFF)
+    position = fingerprint % len(data)
+    bit = (fingerprint >> 8) % 8
+    damaged = bytearray(data)
+    damaged[position] ^= 1 << bit
+    return bytes(damaged)
+
+
 class StorageIO:
     """The file abstraction all disk-touching code routes through.
 
@@ -304,6 +340,8 @@ class StorageIO:
             handle.write(torn_prefix(data))
             handle.flush()
             raise SimulatedCrash(site)
+        if mode == MODE_CORRUPT:
+            data = corrupt_bytes(data)  # silent bit rot: no exception
         handle.write(data)
         handle.flush()
 
@@ -345,6 +383,8 @@ class StorageIO:
         if mode == MODE_TORN_WRITE:
             tmp.write_bytes(torn_prefix(data))
             raise SimulatedCrash(site)
+        if mode == MODE_CORRUPT:
+            data = corrupt_bytes(data)  # silent bit rot: no exception
         with open(tmp, "wb") as handle:
             handle.write(data)
             handle.flush()
@@ -388,6 +428,8 @@ __all__ = [
     "MODE_CRASH",
     "MODE_TORN_WRITE",
     "MODE_PARTIAL_FSYNC",
+    "MODE_CORRUPT",
     "MODES",
     "torn_prefix",
+    "corrupt_bytes",
 ]

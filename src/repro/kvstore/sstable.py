@@ -22,7 +22,7 @@ import zlib
 from typing import Iterator, Optional
 
 from repro.errors import CorruptionError
-from repro.faults import FAILPOINTS
+from repro.faults import FAILPOINTS, MODE_CORRUPT, corrupt_bytes
 from repro.kvstore.bloom import BloomFilter
 
 _MAGIC = b"REPROSST"
@@ -135,7 +135,13 @@ class SSTable:
     @classmethod
     def decode(cls, data: bytes) -> "SSTable":
         """Parse bytes produced by :meth:`encode`, verifying integrity."""
-        FAILPOINTS.check("kv.sstable.decode")
+        mode = FAILPOINTS.check("kv.sstable.decode")
+        if mode == MODE_CORRUPT and data:
+            # Bit rot between encode and decode.  The first byte is
+            # always in a verified region (entry payload, or the bloom
+            # header for an empty table), so the damage is guaranteed
+            # to surface as a CorruptionError below — never silently.
+            data = corrupt_bytes(data[:1]) + data[1:]
         if len(data) < _FOOTER.size:
             raise CorruptionError("sstable shorter than footer")
         count, crc, bloom_len, magic = _FOOTER.unpack(data[-_FOOTER.size:])

@@ -363,6 +363,7 @@ class ResilienceController:
         self.watchdog_aborts = 0
         self.degraded_reads = 0
         self.migration_pauses = 0
+        self.quarantined_reads = 0
 
     # -- retry bookkeeping ------------------------------------------------
 
@@ -408,6 +409,23 @@ class ResilienceController:
             self.degraded_reads += 1
         self._local.degraded = True
 
+    def quarantined_read_raises(self) -> bool:
+        """Account one temporal read that hit a quarantined TT range
+        and decide its fate per the ``degraded_reads`` policy.
+
+        ``True``: the caller should raise
+        :class:`~repro.errors.IntegrityError` (the ``raise`` policy —
+        and the raise feeds the breaker, so repeated corruption trips
+        it).  ``False``: the read degrades to current-only results,
+        marked like any other degraded read.
+        """
+        with self._lock:
+            self.quarantined_reads += 1
+        if self.config.degraded_reads == DEGRADED_CURRENT_ONLY:
+            self.note_degraded_read()
+            return False
+        return True
+
     def note_migration_paused(self) -> None:
         with self._lock:
             self.migration_pauses += 1
@@ -446,6 +464,7 @@ class ResilienceController:
                 "watchdog_aborts": self.watchdog_aborts,
                 "degraded_reads": self.degraded_reads,
                 "migration_pauses": self.migration_pauses,
+                "quarantined_reads": self.quarantined_reads,
             }
         out["admission"] = (
             self.gate.snapshot() if self.gate is not None else None

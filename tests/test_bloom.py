@@ -30,6 +30,26 @@ class TestBloomFilter:
         )
         assert false_positives < 10_000 * 0.05  # 5x headroom over target
 
+    def test_false_positive_rate_at_scale_10k(self):
+        """Regression for the configured-vs-measured FP gap: at 10k
+        keys the measured rate must stay within 2x the configured
+        target (a sizing or hash-count bug shows up as an order of
+        magnitude, not a factor of two)."""
+        target = 0.01
+        bloom = BloomFilter(10_000, fp_rate=target)
+        for i in range(10_000):
+            bloom.add(f"member-{i:05d}".encode())
+        probes = 20_000
+        false_positives = sum(
+            1
+            for i in range(probes)
+            if bloom.might_contain(f"absent-{i:05d}".encode())
+        )
+        measured = false_positives / probes
+        assert measured <= 2 * target, (
+            f"measured FP rate {measured:.4f} exceeds 2x target {target}"
+        )
+
     def test_empty_filter_rejects_everything(self):
         bloom = BloomFilter(10)
         assert not bloom.might_contain(b"anything")

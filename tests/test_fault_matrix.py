@@ -309,6 +309,50 @@ class TestErrorOnlySites:
         with pytest.raises(FaultInjected):
             SSTable.decode(data)
 
+    def test_sstable_decode_corrupt_surfaces_as_corruption(self):
+        """corrupt mode damages bytes inside the CRC-protected region,
+        so it must surface as CorruptionError — never as silently wrong
+        data."""
+        from repro.errors import CorruptionError
+
+        data = SSTable([(b"k", b"v")]).encode()
+        FAILPOINTS.activate("kv.sstable.decode", "corrupt")
+        with pytest.raises(CorruptionError):
+            SSTable.decode(data)
+        FAILPOINTS.clear()
+        table = SSTable.decode(data)
+        assert table.get(b"k") == (True, b"v")
+
+    def test_history_fetch_corrupt_heals_via_scrubber(self):
+        """corrupt mode flips a bit in a stored history record (at-rest
+        rot): the read fails its checksum, the scrubber quarantines and
+        repairs, and reads recover."""
+        from repro import IntegrityError, TemporalCondition
+
+        db = AeonG(anchor_interval=4, gc_interval_transactions=0)
+        with db.transaction() as txn:
+            gid = db.create_vertex(txn, ["H"], {"v": 0})
+        for i in range(1, 10):
+            with db.transaction() as txn:
+                db.set_vertex_property(txn, gid, "v", i)
+        db.collect_garbage()
+        cond = TemporalCondition.between(0, db.now())
+        FAILPOINTS.activate("history.fetch", "corrupt")
+        txn = db.begin()
+        try:
+            with pytest.raises(IntegrityError):
+                list(db.vertex_versions(txn, gid, cond))
+        finally:
+            db.abort(txn)
+            FAILPOINTS.clear()
+        report = db.scrub_full()
+        assert report.repairs_applied >= 1
+        assert db.scrub_full().ok
+        assert db.history.quarantine.count() == 0
+        with db.transaction() as txn:
+            assert list(db.vertex_versions(txn, gid, cond))
+        db.close()
+
     def test_history_fetch_fault_is_surfaced(self):
         """history.fetch fires on the temporal *read* path; the error
         mode surfaces cleanly and a retried read succeeds (breaker

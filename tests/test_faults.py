@@ -13,6 +13,7 @@ from repro.faults import (
     FailpointRegistry,
     SimulatedCrash,
     StorageIO,
+    corrupt_bytes,
     torn_prefix,
 )
 from repro.kvstore import KVStore
@@ -155,6 +156,48 @@ class TestStorageIO:
         with pytest.raises(SimulatedCrash):
             io.write_file(path, b"v2", "t.site")
         assert path.read_bytes() == b"v1"
+
+    def test_write_file_corrupt_is_silent_bit_rot(self, tmp_path):
+        """corrupt mode completes the write without raising — the
+        damage is only discoverable by a later checksum verification."""
+        path = tmp_path / "f.bin"
+        io = StorageIO()
+        payload = b"payload-that-should-have-landed-intact"
+        FAILPOINTS.activate("t.site", "corrupt")
+        io.write_file(path, payload, "t.site")  # no exception
+        stored = path.read_bytes()
+        assert stored != payload
+        assert stored == corrupt_bytes(payload)
+
+    def test_append_corrupt_is_silent_bit_rot(self, tmp_path):
+        path = tmp_path / "log.bin"
+        io = StorageIO()
+        payload = b"record-bytes-on-the-wire"
+        FAILPOINTS.activate("t.site", "corrupt")
+        with open(path, "wb") as handle:
+            io.append(handle, payload, "t.site")
+        assert path.read_bytes() == corrupt_bytes(payload)
+
+
+class TestCorruptBytes:
+    def test_deterministic_and_damaging(self):
+        payload = b"some stable payload"
+        damaged = corrupt_bytes(payload)
+        assert damaged == corrupt_bytes(payload)  # reruns reproduce
+        assert damaged != payload
+        assert len(damaged) == len(payload)
+        # exactly one bit differs
+        diff = [a ^ b for a, b in zip(payload, damaged)]
+        assert sum(bin(d).count("1") for d in diff) == 1
+
+    def test_seed_varies_the_damage(self):
+        payload = b"some stable payload" * 4
+        variants = {corrupt_bytes(payload, seed=s) for s in range(8)}
+        assert len(variants) > 1
+        assert payload not in variants
+
+    def test_empty_input_becomes_junk_byte(self):
+        assert corrupt_bytes(b"") == b"\xff"
 
 
 class TestWalFaults:

@@ -197,3 +197,90 @@ class TestAnchorPolicy:
     def test_negative_interval_rejected(self):
         with pytest.raises(ValueError):
             AnchorPolicy(-1)
+
+
+class TestAnchorIntervalBoundaries:
+    """End-to-end round-trips right at the anchor-policy boundary
+    (section 3.2's ``u``): exactly ``u`` reclaimed deltas, ``u + 1``,
+    and a fully-reclaimed object whose reads must come off anchors."""
+
+    U = 4
+
+    def _engine(self):
+        from repro import AeonG
+
+        return AeonG(anchor_interval=self.U, gc_interval_transactions=0)
+
+    def _grow(self, db, updates):
+        with db.transaction() as txn:
+            gid = db.create_vertex(txn, ["B"], {"v": 0})
+        stamps = [db.now() - 1]
+        for value in range(1, updates):
+            with db.transaction() as txn:
+                db.set_vertex_property(txn, gid, "v", value)
+            stamps.append(db.now() - 1)
+        db.collect_garbage()
+        return gid, stamps
+
+    def _assert_exact_roundtrip(self, db, gid, stamps):
+        from repro import TemporalCondition
+
+        reader = db.begin()
+        try:
+            for value, ts in enumerate(stamps):
+                view = next(
+                    db.vertex_versions(reader, gid, TemporalCondition.as_of(ts))
+                )
+                assert view.properties["v"] == value, f"state at t={ts}"
+            versions = list(
+                db.vertex_versions(
+                    reader, gid, TemporalCondition.between(0, db.now())
+                )
+            )
+            assert [v.properties["v"] for v in versions] == list(
+                range(len(stamps) - 1, -1, -1)
+            )
+        finally:
+            db.abort(reader)
+
+    def _anchor_count(self, db, gid):
+        prefix = hk.object_prefix(
+            hk.SEGMENT_VERTEX, hk.KIND_ANCHOR, gid
+        )
+        return sum(1 for _ in db.history.kv.scan_prefix(prefix))
+
+    def test_exactly_u_deltas(self):
+        db = self._engine()
+        gid, stamps = self._grow(db, updates=self.U)
+        self._assert_exact_roundtrip(db, gid, stamps)
+        assert db.scrub_full().ok
+
+    def test_u_plus_one_deltas_cross_the_anchor(self):
+        db = self._engine()
+        gid, stamps = self._grow(db, updates=self.U + 1)
+        assert self._anchor_count(db, gid) >= 1
+        self._assert_exact_roundtrip(db, gid, stamps)
+        report = db.scrub_full()
+        assert report.ok and not report.warnings()
+
+    def test_multiple_of_u_boundary(self):
+        db = self._engine()
+        gid, stamps = self._grow(db, updates=3 * self.U)
+        assert self._anchor_count(db, gid) >= 2
+        self._assert_exact_roundtrip(db, gid, stamps)
+        report = db.scrub_full()
+        assert report.ok and not report.warnings()
+
+    def test_fully_reclaimed_object_reads_from_anchor(self):
+        """Delete the vertex and migrate everything: with no
+        current-store record left, reconstruction bases on anchors (or
+        the blank above-history placeholder) only."""
+        db = self._engine()
+        gid, stamps = self._grow(db, updates=2 * self.U)
+        with db.transaction() as txn:
+            db.delete_vertex(txn, gid)
+        db.collect_garbage()
+        assert db.storage.vertex_record(gid) is None
+        assert self._anchor_count(db, gid) >= 1
+        self._assert_exact_roundtrip(db, gid, stamps)
+        assert db.scrub_full().ok

@@ -92,3 +92,96 @@ class TestPruneHistory:
         db = AeonG(temporal=False, gc_interval_transactions=0)
         with pytest.raises(TemporalError):
             db.prune_history(10)
+
+
+class TestPruneChainSafety:
+    """Pruning cuts the reconstruction chain mid-way; everything above
+    the cut must still replay exactly, and the survivors must satisfy
+    every scrubber invariant (prune is the model for the scrubber's
+    truncate-below repair, so this is load-bearing twice)."""
+
+    def test_reconstruction_across_prune_boundary(self, db):
+        gid, stamps = _build(db)
+        # cut strictly inside the chain, between two reclaimed versions
+        cut_ts = stamps[3][0]
+        removed = db.prune_history(cut_ts - 1)
+        assert removed > 0
+        reader = db.begin()
+        try:
+            # every surviving version reconstructs with its exact value,
+            # including the one immediately above the prune boundary
+            for ts, value in stamps[3:]:
+                view = next(
+                    db.vertex_versions(reader, gid, TemporalCondition.as_of(ts))
+                )
+                assert view.properties["v"] == value, (
+                    f"version at t={ts} wrong after prune"
+                )
+            # a range read spanning the boundary yields exactly the
+            # surviving versions, newest first, with no gaps or phantoms
+            versions = list(
+                db.vertex_versions(
+                    reader, gid, TemporalCondition.between(0, db.now())
+                )
+            )
+            assert [v.properties["v"] for v in versions] == list(
+                range(7, 1, -1)
+            )
+        finally:
+            db.abort(reader)
+
+    def test_anchor_delta_pairs_pruned_together(self, db):
+        """An anchor and the delta sharing its tt_end are staged and
+        pruned as a unit — a prune must never leave an orphaned anchor
+        (the scrubber would flag it)."""
+        from repro.core import keys as hk
+
+        gid, stamps = _build(db)
+        db.prune_history(stamps[4][0] - 1)
+        delta_ends = {
+            hk.decode_key(key).tt_end
+            for key, _value in db.history.kv.scan_prefix(
+                hk.object_prefix(hk.SEGMENT_VERTEX, hk.KIND_DELTA, gid)
+            )
+        } | {
+            hk.decode_key(key).tt_end
+            for key, _value in db.history.kv.scan_prefix(
+                hk.object_prefix(hk.SEGMENT_TOPOLOGY, hk.KIND_DELTA, gid)
+            )
+        }
+        for key, _value in db.history.kv.scan_prefix(
+            hk.object_prefix(hk.SEGMENT_VERTEX, hk.KIND_ANCHOR, gid)
+        ):
+            assert hk.decode_key(key).tt_end in delta_ends
+
+    def test_scrub_clean_after_prune(self, db):
+        gid, stamps = _build(db)
+        assert db.scrub_full().ok  # sanity: clean before
+        db.prune_history(stamps[3][0])
+        report = db.scrub_full()
+        assert report.ok, [f.as_dict() for f in report.errors()]
+        assert db.history.quarantine.count() == 0
+
+    def test_scrub_clean_after_prune_then_more_history(self, db):
+        """Prune, then accumulate and migrate new history on top: the
+        seam between old survivors and new records must verify."""
+        gid, stamps = _build(db)
+        db.prune_history(stamps[3][0])
+        for value in range(8, 12):
+            with db.transaction() as txn:
+                db.set_vertex_property(txn, gid, "v", value)
+        db.collect_garbage()
+        report = db.scrub_full()
+        assert report.ok, [f.as_dict() for f in report.errors()]
+        reader = db.begin()
+        try:
+            versions = list(
+                db.vertex_versions(
+                    reader, gid, TemporalCondition.between(0, db.now())
+                )
+            )
+            assert [v.properties["v"] for v in versions] == list(
+                range(11, 2, -1)
+            )
+        finally:
+            db.abort(reader)
