@@ -1,0 +1,176 @@
+"""Read-path baseline — repeated temporal scans, cold vs warm.
+
+Fig5(b)-style time-point scans and fig5(c)-style time-slice scans run
+twice over the same reclaimed history: cold (every derived read
+structure dropped before each repetition, so reconstruction replays
+anchor+delta chains from the KV store) and warm (reconstruction cache
+populated, repeated queries served by bisect).  The measured speedup
+is the value of the read-path performance layer and the baseline for
+later PRs; ``BENCH_read_path.json`` in ``benchmarks/results/`` is the
+machine-readable artifact.
+
+Acceptance: warm repeated time-point scans over reclaimed history are
+at least 3x faster than cold.
+
+Set ``BENCH_SMOKE=1`` for the CI smoke configuration (seconds, not
+minutes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from time import perf_counter
+
+import pytest
+
+from repro import AeonG, TemporalCondition
+from benchmarks.conftest import RESULTS_DIR, write_report
+
+pytestmark = pytest.mark.read_path
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+VERTICES = 6 if SMOKE else 24
+VERSIONS = 8 if SMOKE else 30
+POINTS = 4 if SMOKE else 12
+SLICES = 3 if SMOKE else 8
+REPS = 2 if SMOKE else 5
+
+
+def _build():
+    """A graph whose vertices each carry ``VERSIONS`` reclaimed
+    property versions (plus a ring of edges for topology records)."""
+    db = AeonG(
+        anchor_interval=8,
+        gc_interval_transactions=0,
+        reconstruction_cache_size=4096,
+    )
+    gids = []
+    with db.transaction() as txn:
+        for i in range(VERTICES):
+            gids.append(
+                db.create_vertex(txn, labels=["P"], properties={"n": 0, "g": i})
+            )
+    with db.transaction() as txn:
+        for i in range(VERTICES):
+            db.create_edge(
+                txn, gids[i], gids[(i + 1) % VERTICES], "KNOWS", {"w": 0}
+            )
+    for version in range(1, VERSIONS):
+        for gid in gids:
+            with db.transaction() as txn:
+                db.set_vertex_property(txn, gid, "n", version)
+        db.collect_garbage()
+    db.collect_garbage()
+    return db
+
+
+def _instants(db):
+    hi = db.now() - 1
+    return [1 + (i * (hi - 1)) // max(1, POINTS - 1) for i in range(POINTS)]
+
+
+def _windows(db):
+    hi = db.now() - 1
+    span = max(2, hi // (SLICES + 1))
+    return [
+        (start, min(hi, start + span))
+        for start in range(1, hi - span, max(1, (hi - span) // SLICES))
+    ][:SLICES]
+
+
+def _time_point_pass(db, instants):
+    rows = 0
+    started = perf_counter()
+    with db.transaction() as txn:
+        for t in instants:
+            rows += sum(1 for _ in db.vertices_as_of(txn, t))
+    return perf_counter() - started, rows
+
+
+def _time_slice_pass(db, windows):
+    rows = 0
+    started = perf_counter()
+    with db.transaction() as txn:
+        for t1, t2 in windows:
+            rows += sum(1 for _ in db.vertices_between(txn, t1, t2))
+    return perf_counter() - started, rows
+
+
+def _measure(db, one_pass, queries):
+    """(cold mean, warm mean, rows) over ``REPS`` repetitions.
+
+    ``queries`` is computed once up front: every pass (cold or warm)
+    must ask the identical questions, and each pass's read transaction
+    ticks the engine clock, so deriving instants from ``now()`` inside
+    the loop would silently shift the workload between passes.
+    """
+    cold = 0.0
+    for _ in range(REPS):
+        db.history.invalidate_caches()
+        elapsed, cold_rows = one_pass(db, queries)
+        cold += elapsed
+    db.history.invalidate_caches()
+    one_pass(db, queries)  # populate
+    warm = 0.0
+    for _ in range(REPS):
+        elapsed, warm_rows = one_pass(db, queries)
+        warm += elapsed
+    assert warm_rows == cold_rows  # identical answers either way
+    return cold / REPS, warm / REPS, warm_rows
+
+
+def test_read_path_cold_vs_warm():
+    db = _build()
+    instants = _instants(db)
+    windows = _windows(db)
+    point_cold, point_warm, point_rows = _measure(db, _time_point_pass, instants)
+    slice_cold, slice_warm, slice_rows = _measure(db, _time_slice_pass, windows)
+    point_speedup = point_cold / max(point_warm, 1e-9)
+    slice_speedup = slice_cold / max(slice_warm, 1e-9)
+
+    payload = {
+        "bench": "read_path",
+        "smoke": SMOKE,
+        "workload": {
+            "vertices": VERTICES,
+            "versions_per_vertex": VERSIONS,
+            "time_points": POINTS,
+            "time_slices": SLICES,
+            "repetitions": REPS,
+        },
+        "fig5b_time_point": {
+            "cold_s": point_cold,
+            "warm_s": point_warm,
+            "speedup": point_speedup,
+            "rows": point_rows,
+        },
+        "fig5c_time_slice": {
+            "cold_s": slice_cold,
+            "warm_s": slice_warm,
+            "speedup": slice_speedup,
+            "rows": slice_rows,
+        },
+        "read_path_metrics": db.metrics()["read_path"],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_read_path.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    lines = ["Read path: repeated temporal scans, cold vs warm (mean s/pass)"]
+    lines.append(f"{'query':<12}{'cold':>10}{'warm':>10}{'speedup':>10}{'rows':>8}")
+    lines.append(
+        f"{'time-point':<12}{point_cold:>10.4f}{point_warm:>10.4f}"
+        f"{point_speedup:>9.1f}x{point_rows:>8}"
+    )
+    lines.append(
+        f"{'time-slice':<12}{slice_cold:>10.4f}{slice_warm:>10.4f}"
+        f"{slice_speedup:>9.1f}x{slice_rows:>8}"
+    )
+    print("\n" + write_report("read_path", lines))
+
+    # the acceptance bar: warm repeated time-point scans >= 3x cold
+    assert point_speedup >= 3.0, payload["fig5b_time_point"]
+    # slices also win, with headroom for CI timer noise
+    assert slice_speedup >= 2.0, payload["fig5c_time_slice"]

@@ -11,6 +11,8 @@ command   effect
 ``.now``      print the engine's next commit timestamp
 ``.gc``       run one garbage-collection (migration) epoch
 ``.storage``  print the storage report
+``.metrics``  print operational counters (JSON; ``.metrics read_path``
+              for one section)
 ``.index L P``  create a label(+property) index
 ``.save DIR``   snapshot the engine to a directory
 ``.quit``     exit
@@ -99,6 +101,21 @@ class Shell:
             print(f"reclaimed {reclaimed} undo deltas", file=self.out)
         elif command == ".storage":
             print(self.engine.storage_report(), file=self.out)
+        elif command == ".metrics":
+            import json
+
+            metrics = self.engine.metrics()
+            if args:
+                section = metrics.get(args[0])
+                if section is None:
+                    print(
+                        f"unknown metrics section {args[0]}; one of: "
+                        + " ".join(sorted(metrics)),
+                        file=self.out,
+                    )
+                    return
+                metrics = {args[0]: section}
+            print(json.dumps(metrics, indent=2, default=str), file=self.out)
         elif command == ".index":
             if not args:
                 print("usage: .index LABEL [PROPERTY]", file=self.out)
@@ -132,7 +149,8 @@ def _help_text() -> str:
         "  CREATE (n:Person {name: 'Jack'})\n"
         "  MATCH (n:Person) RETURN n.name\n"
         "  MATCH (n:Person) TT SNAPSHOT 5 RETURN n\n"
-        "commands: .help .now .gc .storage .index L [P] .save DIR .quit"
+        "commands: .help .now .gc .storage .metrics [SECTION] "
+        ".index L [P] .save DIR .quit"
     )
 
 

@@ -86,6 +86,10 @@ class AeonG:
         valid-time updates.
     kv:
         Inject a pre-configured key-value store (e.g. with a WAL).
+    reconstruction_cache_size:
+        Maximum objects whose reconstructed version lists the history
+        store caches (epoch-invalidated LRU; 0 disables caching and
+        every temporal read replays its anchor+delta chain).
     durability_dir:
         Enable the logical write-ahead log under this directory: every
         committed transaction is durably journaled, :meth:`checkpoint`
@@ -114,6 +118,7 @@ class AeonG:
         model: GraphModel = GraphModel.BITEMPORAL,
         enforce_vt_constraints: bool = False,
         kv: Optional[KVStore] = None,
+        reconstruction_cache_size: int = 4096,
         durability_dir=None,
         durability_mode: str = "flush",
         resilience: Optional[ResilienceConfig] = None,
@@ -128,7 +133,9 @@ class AeonG:
         self.resilience = ResilienceController(resilience)
         self.storage = GraphStorage()
         self.manager = self.storage.manager
-        self.history = HistoricalStore(kv)
+        self.history = HistoricalStore(
+            kv, reconstruction_cache_size=reconstruction_cache_size
+        )
         self.history.resilience = self.resilience
         self.anchor_policy = AnchorPolicy(anchor_interval)
         self.migrator = Migrator(self.storage, self.history, self.anchor_policy)
@@ -842,11 +849,13 @@ class AeonG:
                 "puts": kv_stats.puts,
                 "gets": kv_stats.gets,
                 "seeks": kv_stats.seeks,
+                "range_scans": kv_stats.range_scans,
                 "flushes": kv_stats.flushes,
                 "compactions": kv_stats.compactions,
                 "batch_writes": kv_stats.batch_writes,
                 "bytes": self.history.storage_bytes(),
             },
+            "read_path": self.history.read_path_metrics(),
             "caches": {
                 "payloads": len(self.history._payload_cache),
                 "objects": len(self.history._object_cache),

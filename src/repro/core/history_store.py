@@ -12,7 +12,8 @@ every reconstructed version that satisfies the temporal condition.
 from __future__ import annotations
 
 import bisect
-from typing import Iterator, Optional
+from collections import OrderedDict
+from typing import Iterable, Iterator, Optional
 
 from repro.common.timeutil import MAX_TIMESTAMP
 from repro.core import keys as history_keys
@@ -66,6 +67,35 @@ class _CorruptPayload:
         )
 
 
+class ReadMetrics:
+    """Read-path performance counters (``metrics()["read_path"]``).
+
+    ``deltas_replayed`` counts backward-record applications actually
+    paid; ``reconstructions_avoided`` counts the applications a cache
+    hit saved (the hit entry's build cost — what serving the same fetch
+    cold would have replayed).
+    """
+
+    __slots__ = (
+        "fetches",
+        "cache_hits",
+        "cache_misses",
+        "cache_evictions",
+        "anchor_seeks",
+        "deltas_replayed",
+        "reconstructions_avoided",
+        "preload_batches",
+        "preload_objects",
+    )
+
+    def __init__(self) -> None:
+        for slot in self.__slots__:
+            setattr(self, slot, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+
 def _merge_mentions(payload: dict, labels: set, values: dict) -> None:
     """Fold one content payload into the pruning aggregates."""
     for field in ("la", "lr"):
@@ -84,7 +114,11 @@ def _merge_mentions(payload: dict, labels: set, values: dict) -> None:
 class HistoricalStore:
     """AeonG's reclaimed-delta store over a key-value engine."""
 
-    def __init__(self, kv: Optional[KVStore] = None) -> None:
+    def __init__(
+        self,
+        kv: Optional[KVStore] = None,
+        reconstruction_cache_size: int = 4096,
+    ) -> None:
         self.kv = kv if kv is not None else KVStore()
         #: the owning engine's ResilienceController (or None): gates
         #: fetches through the history-store circuit breaker and feeds
@@ -115,8 +149,45 @@ class HistoricalStore:
         # gid -> (labels mentioned in diffs, {prop: [values in diffs]});
         # the scan's O(1) pruning structure (see vertex_mentions).
         self._mention_cache: dict[int, tuple[set, dict]] = {}
+        #: read-path performance counters (surfaced via engine metrics)
+        self.read_metrics = ReadMetrics()
+        #: maximum entries in the reconstruction cache; 0 disables it
+        self.reconstruction_cache_size = reconstruction_cache_size
+        # Invalidation epoch for the derived read structures below.  It
+        # advances whenever the stored record set can have changed — a
+        # migration commit, prune(), invalidate_caches() (which repair
+        # paths route through) — so correctness never depends on a
+        # caller remembering to flush a specific cache.
+        self._epoch = 0
+        # (object_kind, gid) -> (base_sig, versions, build_replays):
+        # the LRU cache of fully reconstructed version lists.  ``versions``
+        # is ascending by tt_end, one entry per content record, each a
+        # frozen view (None where the state is non-existence);
+        # ``base_sig`` is the reconstruction base's content interval
+        # (None for fully reclaimed objects) and guards against the
+        # base advancing without an epoch bump; ``versions is None``
+        # marks an object whose full chain failed to decode this epoch.
+        self._reconstruction_cache: OrderedDict[
+            tuple[str, int], tuple[Optional[tuple[int, int]], Optional[list], int]
+        ] = OrderedDict()
+        # (segment, kind) -> {gid: [(tt_start, tt_end)] ascending by
+        # tt_end}: the key index, built from one key-only scan at open
+        # and appended to by staging (records arrive in commit order).
+        # Serves anchor seeks, newest-record lookups, gid enumeration
+        # and preload sizing without touching the KV store.  ``None``
+        # means dropped by invalidation; rebuilt lazily.
+        self._gid_index: Optional[
+            dict[tuple[bytes, bytes], dict[int, list[tuple[int, int]]]]
+        ] = None
+        # object_kind -> memoized sorted known-gid list (scan order).
+        self._known_sorted: dict[str, Optional[list[int]]] = {
+            "vertex": None,
+            "edge": None,
+        }
         if len(self.kv) > 0:
-            self._rebuild_known()
+            self._rebuild_index()
+        else:
+            self._gid_index = {}
 
     _PAYLOAD_CACHE_LIMIT = 200_000
 
@@ -133,15 +204,68 @@ class HistoricalStore:
             self._payload_cache[key] = payload
         return payload
 
-    def _rebuild_known(self) -> None:
+    def _rebuild_index(self) -> None:
+        """One key-only pass over the store rebuilding the known-object
+        sets and the per-(segment, kind) key index together."""
+        known: dict[str, set[int]] = {"vertex": set(), "edge": set()}
+        index: dict[tuple[bytes, bytes], dict[int, list[tuple[int, int]]]] = {}
         for key, _value in self.kv.scan_all():
             decoded = history_keys.decode_key(key)
             kind = "edge" if decoded.segment == history_keys.SEGMENT_EDGE else "vertex"
-            self._known[kind].add(decoded.gid)
+            known[kind].add(decoded.gid)
+            per_gid = index.setdefault((decoded.segment, decoded.kind), {})
+            # scan_all yields keys ascending, so per-gid rows arrive
+            # sorted by tt_end (the key order within an object).
+            per_gid.setdefault(decoded.gid, []).append(
+                (decoded.tt_start, decoded.tt_end)
+            )
+        self._known = known
+        self._gid_index = index
+        self._known_sorted = {"vertex": None, "edge": None}
+
+    def _ensure_index(
+        self,
+    ) -> dict[tuple[bytes, bytes], dict[int, list[tuple[int, int]]]]:
+        if self._gid_index is None:
+            self._rebuild_index()
+        return self._gid_index
+
+    def _index_append(
+        self, segment: bytes, kind: bytes, gid: int, tt_start: int, tt_end: int
+    ) -> None:
+        if self._gid_index is not None:
+            per_gid = self._gid_index.setdefault((segment, kind), {})
+            per_gid.setdefault(gid, []).append((tt_start, tt_end))
+
+    def _bump_epoch(self) -> None:
+        self._epoch += 1
+        self._reconstruction_cache.clear()
+        self._known_sorted = {"vertex": None, "edge": None}
+
+    @property
+    def epoch(self) -> int:
+        """Current invalidation epoch of the derived read structures."""
+        return self._epoch
 
     def known_gids(self, object_kind: str) -> set[int]:
         """Gids with at least one migrated record (live reference)."""
         return self._known[object_kind]
+
+    def sorted_known_gids(self, object_kind: str) -> list[int]:
+        """Memoized ascending list of :meth:`known_gids` (treat as
+        read-only — scans iterate it on every unindexed query)."""
+        cached = self._known_sorted.get(object_kind)
+        if cached is None:
+            cached = sorted(self._known[object_kind])
+            self._known_sorted[object_kind] = cached
+        return cached
+
+    def discard_known(self, object_kind: str, gid: int) -> None:
+        """Drop one gid from the known-object set (used by integrity
+        repairs after they empty an object's record set)."""
+        self._known[object_kind].discard(gid)
+        self._known_sorted[object_kind] = None
+        self._reconstruction_cache.pop((object_kind, gid), None)
 
     # -- write side (used by Migrate) ------------------------------------
 
@@ -156,7 +280,16 @@ class HistoricalStore:
         )
         batch.put(key, draft.encode_payload())
         kind = "edge" if draft.segment == history_keys.SEGMENT_EDGE else "vertex"
-        self._known[kind].add(draft.gid)
+        if draft.gid not in self._known[kind]:
+            self._known[kind].add(draft.gid)
+            self._known_sorted[kind] = None
+        self._index_append(
+            draft.segment,
+            history_keys.KIND_DELTA,
+            draft.gid,
+            draft.tt_start,
+            draft.tt_end,
+        )
         self._cache_append(
             draft.segment,
             history_keys.KIND_DELTA,
@@ -181,15 +314,24 @@ class HistoricalStore:
             segment, history_keys.KIND_ANCHOR, gid, tt_start, tt_end
         )
         batch.put(key, encode_record_payload(payload))
+        self._index_append(
+            segment, history_keys.KIND_ANCHOR, gid, tt_start, tt_end
+        )
         self._cache_append(
             segment, history_keys.KIND_ANCHOR, gid, tt_start, tt_end, payload
         )
         self.anchors_written += 1
 
     def commit_batch(self, batch: WriteBatch) -> None:
-        """Atomically install a migration epoch (``putMultiples``)."""
+        """Atomically install a migration epoch (``putMultiples``).
+
+        Installing records changes what reconstruction must produce, so
+        the read-cache epoch advances here — the reconstruction cache
+        and memoized scan lists are rebuilt on next use.
+        """
         if batch:
             self.kv.write(batch)
+            self._bump_epoch()
 
     # -- read side (FetchFromKV) ---------------------------------------------
 
@@ -283,6 +425,146 @@ class HistoricalStore:
             if object_kind == "vertex"
             else history_keys.SEGMENT_EDGE
         )
+        self.read_metrics.fetches += 1
+        versions = self._cached_versions(object_kind, segment, gid, base_view)
+        if versions is None:
+            yield from self._fetch_versions_uncached(
+                object_kind, segment, gid, cond, base_view
+            )
+            return
+        if cond.is_point:
+            yield from self._serve_cached_point(segment, gid, versions, cond)
+            return
+        for tt_start, tt_end, frozen in reversed(versions):
+            if frozen is not None and cond.matches(tt_start, tt_end):
+                yield _clone(frozen)
+
+    # -- reconstruction cache ---------------------------------------------
+    #
+    # ``FetchFromKV`` replays the same anchor+delta chains on every
+    # query.  The cache stores, per object, the *complete* reconstructed
+    # version list (built once from the topmost base straight down), so
+    # any later condition is served by bisect over the list instead of a
+    # replay — the reconstruct-as-needed rule with the work memoized.
+    # Entries are invalidated wholesale by the epoch bump, and each
+    # entry additionally records the base it was built from: the
+    # current-store base can advance (GC reclaim truncates undo chains
+    # without a KV write), which changes which versions are the
+    # history's to serve, so a signature mismatch forces a rebuild.
+
+    def _cached_versions(
+        self, object_kind: str, segment: bytes, gid: int, base_view
+    ) -> Optional[list]:
+        """The object's cached version list, building it on a miss.
+
+        Returns ``None`` when caching is disabled or the object's full
+        chain cannot be decoded (the caller falls back to the bounded
+        per-query replay, which may avoid the damaged record).
+        """
+        if self.reconstruction_cache_size <= 0:
+            return None
+        base_sig = (
+            (base_view.tt_start, base_view.tt_end)
+            if base_view is not None
+            else None
+        )
+        cache = self._reconstruction_cache
+        key = (object_kind, gid)
+        entry = cache.get(key)
+        if entry is not None and entry[0] == base_sig:
+            cache.move_to_end(key)
+            if entry[1] is None:
+                return None  # known-unbuildable this epoch
+            self.read_metrics.cache_hits += 1
+            self.read_metrics.reconstructions_avoided += entry[2]
+            return entry[1]
+        self.read_metrics.cache_misses += 1
+        try:
+            versions, replays = self._build_versions(
+                object_kind, segment, gid, base_view
+            )
+        except IntegrityError:
+            cache[key] = (base_sig, None, 0)
+            return None
+        cache[key] = (base_sig, versions, replays)
+        cache.move_to_end(key)
+        while len(cache) > self.reconstruction_cache_size:
+            cache.popitem(last=False)
+            self.read_metrics.cache_evictions += 1
+        return versions
+
+    def _build_versions(
+        self, object_kind: str, segment: bytes, gid: int, base_view
+    ) -> tuple[list, int]:
+        """Replay the object's whole record set once, freezing every
+        content state.  The list excludes the base itself (a
+        current-store base is surfaced by the caller's chain walk) and
+        keeps non-existence states as ``None`` placeholders so point
+        lookups can distinguish "deleted at t" from "version at t"."""
+        if base_view is not None:
+            base = _clone(base_view)
+        else:
+            newest_end = self._newest_record_end(segment, gid)
+            if newest_end is None:
+                return [], 0
+            base = (
+                VertexView.blank(gid, newest_end, MAX_TIMESTAMP)
+                if object_kind == "vertex"
+                else EdgeView.blank(gid, newest_end, MAX_TIMESTAMP)
+            )
+        records = self._collect_records(segment, gid, -1, base.tt_start)
+        versions: list[tuple[int, int, Optional[object]]] = []
+        replays = 0
+        for tt_start, tt_end, seg, payload in records:
+            self.reconstructions += 1
+            self.read_metrics.deltas_replayed += 1
+            replays += 1
+            self._apply(base, seg, payload, tt_start, tt_end)
+            if seg != history_keys.SEGMENT_TOPOLOGY:
+                versions.append(
+                    (tt_start, tt_end, _clone(base) if base.exists else None)
+                )
+        versions.reverse()  # ascending by tt_end for bisect serving
+        return versions, replays
+
+    def _serve_cached_point(
+        self, segment: bytes, gid: int, versions: list, cond: TemporalCondition
+    ) -> Iterator:
+        """State-at-t from the cached list: bisect to the content
+        version containing ``t``, then apply the few topology records
+        ending in ``(t, version end]`` — the frozen view was captured
+        just after its content record, i.e. with only the structural
+        changes *newer* than the version already undone."""
+        t = cond.t1
+        index = bisect.bisect_right(versions, t, key=lambda v: v[1])
+        if index >= len(versions):
+            return
+        tt_start, tt_end, frozen = versions[index]
+        if frozen is None or tt_start > t:
+            return
+        view = _clone(frozen)
+        if segment == history_keys.SEGMENT_VERTEX:
+            topo = self._records_for(
+                history_keys.SEGMENT_TOPOLOGY, history_keys.KIND_DELTA, gid
+            )
+            low = bisect.bisect_right(topo, t, key=lambda rec: rec[1])
+            high = bisect.bisect_right(topo, tt_end, lo=low, key=lambda rec: rec[1])
+            for r_start, r_end, payload in reversed(topo[low:high]):
+                if isinstance(payload, _CorruptPayload):
+                    payload.raise_()
+                apply_topology_record(view, payload, r_start, r_end)
+            view.tt_start, view.tt_end = tt_start, tt_end
+        if view.exists and cond.matches(view.tt_start, view.tt_end):
+            yield view
+
+    def _fetch_versions_uncached(
+        self,
+        object_kind: str,
+        segment: bytes,
+        gid: int,
+        cond: TemporalCondition,
+        base_view=None,
+    ) -> Iterator:
         base, include_base = self._reconstruction_base(
             segment, object_kind, gid, cond, base_view
         )
@@ -298,6 +580,7 @@ class HistoricalStore:
             content_tt = (base.tt_start, base.tt_end)
             for tt_start, tt_end, seg, payload in records:
                 self.reconstructions += 1
+                self.read_metrics.deltas_replayed += 1
                 self._apply(base, seg, payload, tt_start, tt_end)
                 if seg != history_keys.SEGMENT_TOPOLOGY:
                     content_tt = (tt_start, tt_end)
@@ -314,6 +597,7 @@ class HistoricalStore:
             yield _clone(base)
         for tt_start, tt_end, seg, payload in records:
             self.reconstructions += 1
+            self.read_metrics.deltas_replayed += 1
             self._apply(base, seg, payload, tt_start, tt_end)
             if seg == history_keys.SEGMENT_TOPOLOGY:
                 continue
@@ -345,6 +629,14 @@ class HistoricalStore:
             if isinstance(payload, _CorruptPayload):
                 payload.raise_()
             if base_view is None or tt_end <= base_view.tt_start:
+                # An anchor staged at a structural commit ends mid-way
+                # through the content version containing it.  Widen to
+                # the containing version's own interval (from its delta
+                # record) so the version's reported identity never
+                # depends on which anchor a query starts from.
+                tt_start, tt_end = self._containing_version(
+                    segment, gid, tt_start, tt_end
+                )
                 if object_kind == "vertex":
                     view = vertex_view_from_anchor(gid, payload, tt_start, tt_end)
                 else:
@@ -361,6 +653,24 @@ class HistoricalStore:
             else EdgeView.blank(gid, newest_end, MAX_TIMESTAMP)
         )
         return blank, False
+
+    def _containing_version(
+        self, segment: bytes, gid: int, tt_start: int, tt_end: int
+    ) -> tuple[int, int]:
+        """The content version interval containing ``[tt_start, tt_end)``.
+
+        Anchors start where the previous content record ended, so the
+        first content record ending after the anchor's start is the
+        record of the version the anchor snapshots; fall back to the
+        given interval when no such record covers it (e.g. a store
+        whose seam was disturbed)."""
+        records = self._records_for(segment, history_keys.KIND_DELTA, gid)
+        index = bisect.bisect_right(records, tt_start, key=lambda rec: rec[1])
+        if index < len(records):
+            rec_start, rec_end, _payload = records[index]
+            if rec_start <= tt_start and rec_end >= tt_end:
+                return rec_start, rec_end
+        return tt_start, tt_end
 
     # -- per-object read cache -------------------------------------------
     #
@@ -379,6 +689,14 @@ class HistoricalStore:
         cache_key = (segment, kind, gid)
         records = self._object_cache.get(cache_key)
         if records is None:
+            index = self._gid_index
+            if index is not None:
+                per_gid = index.get((segment, kind))
+                if not per_gid or gid not in per_gid:
+                    # The index is authoritative about absence: skip
+                    # the KV seek entirely for record-less objects.
+                    self._object_cache[cache_key] = []
+                    return []
             records = []
             prefix = history_keys.object_prefix(segment, kind, gid)
             for key, value in self.kv.scan_prefix(prefix):
@@ -404,8 +722,76 @@ class HistoricalStore:
             if mentions is not None:
                 _merge_mentions(payload, mentions[0], mentions[1])
 
+    def preload_objects(self, object_kind: str, gids: Iterable[int]) -> int:
+        """Bulk-fill the per-object record cache for many objects with
+        one bounded range scan per segment (Expand's batched
+        ``FetchFromKV``-VE path: a high-degree vertex preloads every
+        candidate edge in one KV iteration instead of one seek each).
+
+        Skips objects with no history or already-cached records.  When
+        the key index shows the gid range is mostly other objects'
+        records (sparse candidates over a dense keyspace), the range
+        scan would read more than it saves, so the call backs off and
+        leaves the per-object lazy loads to do the work.  Returns the
+        number of objects actually preloaded.
+        """
+        segment = (
+            history_keys.SEGMENT_VERTEX
+            if object_kind == "vertex"
+            else history_keys.SEGMENT_EDGE
+        )
+        known = self._known[object_kind]
+        loaded = 0
+        streams = [segment]
+        if segment == history_keys.SEGMENT_VERTEX:
+            streams.append(history_keys.SEGMENT_TOPOLOGY)
+        wanted_gids = {gid for gid in gids if gid in known}
+        for seg in streams:
+            loaded = max(loaded, self._preload_segment(seg, wanted_gids))
+        return loaded
+
+    def _preload_segment(self, segment: bytes, gids: set[int]) -> int:
+        kind = history_keys.KIND_DELTA
+        wanted = sorted(
+            gid for gid in gids
+            if (segment, kind, gid) not in self._object_cache
+        )
+        if len(wanted) < 2:
+            return 0  # a single object's lazy prefix scan is already one seek
+        per_gid = self._ensure_index().get((segment, kind)) or {}
+        low_gid, high_gid = wanted[0], wanted[-1]
+        goal = sum(len(per_gid.get(gid, ())) for gid in wanted)
+        span = sum(
+            len(rows)
+            for gid, rows in per_gid.items()
+            if low_gid <= gid <= high_gid
+        )
+        if span > 4 * goal + 16:
+            return 0
+        start = history_keys.object_prefix(segment, kind, low_gid)
+        stop = history_keys.object_prefix(segment, kind, high_gid) + b"\xff" * 17
+        wanted_set = set(wanted)
+        rows: dict[int, list] = {gid: [] for gid in wanted_set}
+        for key, value in self.kv.scan_range(start, stop):
+            decoded = history_keys.decode_key(key)
+            if decoded.gid not in wanted_set:
+                continue
+            try:
+                payload = self._decode_cached(key, value)
+            except IntegrityError as exc:
+                payload = _CorruptPayload(key, exc)
+            rows[decoded.gid].append(
+                (decoded.tt_start, decoded.tt_end, payload)
+            )
+        for gid, records in rows.items():
+            self._object_cache[(segment, kind, gid)] = records
+        self.read_metrics.preload_batches += 1
+        self.read_metrics.preload_objects += len(wanted)
+        return len(wanted)
+
     def _seek_anchor(self, segment: bytes, gid: int, t: int):
         """First anchor of ``gid`` with ``tt_end > t`` (nearest newer)."""
+        self.read_metrics.anchor_seeks += 1
         anchors = self._records_for(segment, history_keys.KIND_ANCHOR, gid)
         index = bisect.bisect_right(anchors, t, key=lambda rec: rec[1])
         if index < len(anchors):
@@ -433,50 +819,34 @@ class HistoricalStore:
 
     def _newest_record_end(self, segment: bytes, gid: int) -> Optional[int]:
         """Largest ``tt_end`` among the object's records (across the
-        content and topology segments for vertices)."""
+        content and topology segments for vertices).  Answered from the
+        key index — no payload is decoded and no KV seek is paid."""
+        index = self._ensure_index()
         streams = [segment]
         if segment == history_keys.SEGMENT_VERTEX:
             streams.append(history_keys.SEGMENT_TOPOLOGY)
         newest: Optional[int] = None
         for seg in streams:
-            records = self._records_for(seg, history_keys.KIND_DELTA, gid)
-            if records and (newest is None or records[-1][1] > newest):
-                newest = records[-1][1]
+            per_gid = index.get((seg, history_keys.KIND_DELTA))
+            rows = per_gid.get(gid) if per_gid else None
+            if rows and (newest is None or rows[-1][1] > newest):
+                newest = rows[-1][1]
         return newest
 
     # -- enumeration (for scans over reclaimed-only objects) ---------------
 
     def iter_gids(self, object_kind: str) -> Iterator[int]:
-        """Distinct gids present in the store for one object kind.
-
-        Uses a skip scan: after the first key of a gid, seek directly
-        past that gid's prefix.
-        """
+        """Distinct gids present in the store for one object kind,
+        ascending — served from the key index (the skip scan this used
+        to run now happens at most once, inside the index rebuild)."""
         segment = (
             history_keys.SEGMENT_VERTEX
             if object_kind == "vertex"
             else history_keys.SEGMENT_EDGE
         )
-        seg_prefix = history_keys.segment_prefix(
-            segment, history_keys.KIND_DELTA
-        )
-        cursor = seg_prefix
-        while True:
-            found = None
-            for key, _value in self.kv.seek(cursor):
-                if not key.startswith(seg_prefix):
-                    return
-                found = history_keys.decode_key(key)
-                break
-            if found is None:
-                return
-            yield found.gid
-            cursor = (
-                history_keys.object_prefix(
-                    segment, history_keys.KIND_DELTA, found.gid
-                )
-                + b"\xff" * 17
-            )
+        per_gid = self._ensure_index().get((segment, history_keys.KIND_DELTA))
+        if per_gid:
+            yield from sorted(per_gid)
 
     def content_payloads(self, object_kind: str, gid: int) -> list[dict]:
         """Every content-record payload of one object (cached).
@@ -544,15 +914,20 @@ class HistoricalStore:
         return gid in self._known[object_kind]
 
     def invalidate_caches(self) -> None:
-        """Drop the read caches (rebuilt lazily from the KV store).
+        """Drop every derived read structure (rebuilt lazily from the
+        KV store) and advance the invalidation epoch.
 
-        Called after a failed migration epoch: staging optimistically
+        Called after a failed migration epoch (staging optimistically
         appended to the caches, so a retry of the same drafts would
-        otherwise leave duplicate cache entries.
+        otherwise leave duplicate entries) and by integrity repairs
+        that rewrite records in place — both mean anything memoized
+        about the record set may be wrong.
         """
         self._payload_cache.clear()
         self._object_cache.clear()
         self._mention_cache.clear()
+        self._gid_index = None
+        self._bump_epoch()
 
     # -- retention ---------------------------------------------------------------
 
@@ -578,16 +953,24 @@ class HistoricalStore:
             batch.delete(key)
         self.kv.write(batch)
         self.kv.compact()
-        # Caches and the known-object set are rebuilt from scratch —
-        # pruning is a rare administrative operation.
-        self._payload_cache.clear()
-        self._object_cache.clear()
-        self._mention_cache.clear()
-        self._known = {"vertex": set(), "edge": set()}
-        self._rebuild_known()
+        # Every derived structure — decode/object/mention caches, the
+        # reconstruction cache, the key index and the known-object set
+        # — is rebuilt from scratch; pruning is a rare administrative
+        # operation and serving even one stale version would violate
+        # the retention contract.
+        self.invalidate_caches()
+        self._rebuild_index()
         return len(doomed)
 
     # -- accounting --------------------------------------------------------------
+
+    def read_path_metrics(self) -> dict[str, int]:
+        """Read-path counters plus cache occupancy (monitoring)."""
+        report = self.read_metrics.as_dict()
+        report["epoch"] = self._epoch
+        report["cache_entries"] = len(self._reconstruction_cache)
+        report["cache_capacity"] = self.reconstruction_cache_size
+        return report
 
     def storage_bytes(self) -> int:
         """Physical footprint of the history store."""

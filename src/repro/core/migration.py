@@ -109,6 +109,11 @@ class Migrator:
             ) = counters_before
             self._last_content_end = content_end_before
             self.anchor_policy.restore(anchor_state_before)
+            # Staging appended optimistically to the store's read
+            # caches and key index; dropping them (which also advances
+            # the read-cache epoch) guarantees no reader ever serves a
+            # record from the rolled-back epoch.  The successful path
+            # needs no call here: commit_batch itself bumps the epoch.
             self.history.invalidate_caches()
             self.failed_epochs += 1
             raise

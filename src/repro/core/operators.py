@@ -76,7 +76,16 @@ class TemporalOperators:
         if not self.history.has_history(object_kind, gid):
             return
         base = oldest_unreclaimed_view(record)
-        if base.tt_start > cond.t1:
+        # Reclaimed records tile the content timeline up to the base's
+        # start with half-open intervals, so when the window only abuts
+        # the seam (t1 == base.tt_start) nothing older can match — but
+        # that relies on the tiling invariant holding.  ``>=`` keeps the
+        # fetch decision sound on its own terms (fetching more never
+        # loses a version; matches() still rejects at the boundary), so
+        # a store whose seam was disturbed by repairs or truncation
+        # degrades to a harmless extra lookup instead of a missed
+        # version.
+        if base.tt_start >= cond.t1:
             yield from self.history.fetch_versions(object_kind, gid, cond, base)
 
     # -- scan (Algorithm 2) ----------------------------------------------------
@@ -118,6 +127,14 @@ class TemporalOperators:
                     and info.commit_ts is not None
                     and info.commit_ts <= txn.start_ts
                 ):
+                    # Visibility is settled before the deleted check:
+                    # only a head committed within our snapshot (or no
+                    # head at all) reaches this branch, so the in-place
+                    # ``deleted`` flag is the state at t.  A head that
+                    # is in-flight, uncommitted-ours, aborted-but-not-
+                    # yet-unlinked, or newer than the snapshot falls
+                    # through to the chain walk below, which applies
+                    # the usual snapshot check per delta.
                     if record.deleted:
                         continue  # already deleted at t: no version
                     if label is not None and label not in record.labels:
@@ -146,7 +163,7 @@ class TemporalOperators:
                 txn, record.gid, cond, label, prop, value
             )
         # Vertices that exist only in the history store.
-        for gid in sorted(self.history.known_gids("vertex")):
+        for gid in self.history.sorted_known_gids("vertex"):
             if gid not in seen:
                 yield from self._filtered_versions(
                     txn, gid, cond, label, prop, value
@@ -243,7 +260,20 @@ class TemporalOperators:
         """
         if direction not in ("out", "in", "both"):
             raise ValueError(f"bad expand direction {direction!r}")
-        for ref in self._candidate_refs(vertex.gid, cond, direction, edge_types):
+        refs = self._candidate_refs(vertex.gid, cond, direction, edge_types)
+        if len(refs) > 1:
+            # Batched FetchFromKV: pull every candidate's records with
+            # one bounded range scan per segment instead of one KV seek
+            # per edge (and per neighbour) — the expand cost on a
+            # high-degree vertex stops scaling with its reclaimed
+            # degree.
+            self.history.preload_objects(
+                "edge", (ref.edge_gid for ref in refs)
+            )
+            self.history.preload_objects(
+                "vertex", (ref.other_gid for ref in refs)
+            )
+        for ref in refs:
             for edge in self.edge_versions(txn, ref.edge_gid, cond):
                 if not intersects(
                     edge.tt_start, edge.tt_end, vertex.tt_start, vertex.tt_end

@@ -1186,7 +1186,9 @@ class Scrubber:
                 prefix = history_keys.object_prefix(segment, kind, gid)
                 for _key, _value in self._kv.scan_prefix(prefix):
                     return
-        self.history.known_gids(object_kind).discard(gid)
+        # Route through the store so its memoized scan list and cached
+        # reconstructions for the object are dropped with the gid.
+        self.history.discard_known(object_kind, gid)
 
     def _insert_spacing_anchors(self, object_kind: str, gid: int) -> int:
         """Heal anchor-spacing warnings by inserting synthetic anchors.

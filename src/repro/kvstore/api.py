@@ -68,6 +68,7 @@ class StoreStats:
     deletes: int = 0
     gets: int = 0
     seeks: int = 0
+    range_scans: int = 0
     flushes: int = 0
     compactions: int = 0
     batch_writes: int = 0

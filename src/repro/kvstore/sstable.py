@@ -108,6 +108,16 @@ class SSTable:
         for i in range(idx, len(self._keys)):
             yield self._keys[i], self._values[i]
 
+    def seek_range(
+        self, start: bytes, stop: bytes
+    ) -> Iterator[tuple[bytes, Optional[bytes]]]:
+        """Yield entries with ``start <= key < stop``, both bounds found
+        by binary search (no per-entry comparison during iteration)."""
+        lo = bisect.bisect_left(self._keys, start)
+        hi = bisect.bisect_left(self._keys, stop, lo=lo)
+        for i in range(lo, hi):
+            yield self._keys[i], self._values[i]
+
     def __iter__(self) -> Iterator[tuple[bytes, Optional[bytes]]]:
         return iter(zip(self._keys, self._values))
 
