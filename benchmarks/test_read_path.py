@@ -174,3 +174,46 @@ def test_read_path_cold_vs_warm():
     assert point_speedup >= 3.0, payload["fig5b_time_point"]
     # slices also win, with headroom for CI timer noise
     assert slice_speedup >= 2.0, payload["fig5c_time_slice"]
+
+
+def test_disabled_observability_adds_no_work():
+    """With observability off, the instrumented hot paths must do no
+    extra work: every span site returns one shared no-op handle (no
+    allocation, no clock reads) and nothing is ever recorded."""
+    from repro import ObservabilityConfig
+    from repro.observability import NULL_SPAN
+
+    db = AeonG(
+        anchor_interval=8,
+        gc_interval_transactions=0,
+        observability=ObservabilityConfig(enabled=False),
+    )
+    try:
+        tracer = db.observability.tracer
+        # Zero-allocation fast path: the identical singleton every time.
+        assert tracer.span("engine.commit") is tracer.span("kv.flush")
+        assert tracer.span("anything") is NULL_SPAN
+
+        gids = []
+        with db.transaction() as txn:
+            for i in range(VERTICES):
+                gids.append(db.create_vertex(txn, ["P"], {"n": 0, "g": i}))
+        for version in range(1, VERSIONS):
+            for gid in gids:
+                with db.transaction() as txn:
+                    db.set_vertex_property(txn, gid, "n", version)
+        db.collect_garbage()
+        db.history.invalidate_caches()
+        with db.transaction() as txn:
+            for t in _instants(db):
+                for _ in db.vertices_as_of(txn, t):
+                    pass
+        db.execute("MATCH (p:P) RETURN count(p)")
+
+        # A full write/GC/temporal-read/query workload recorded nothing.
+        assert tracer.spans_recorded == 0
+        assert tracer.spans() == []
+        assert db.observability.registry.counter("statements").value == 0
+        assert db.metrics()["observability"]["spans_recorded"] == 0
+    finally:
+        db.close()

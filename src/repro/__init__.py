@@ -32,6 +32,12 @@ from repro.errors import (
 )
 from repro.faults import FAILPOINTS, SimulatedCrash, StorageIO
 from repro.integrity import IntegrityReport, Scrubber
+from repro.observability import (
+    MetricsRegistry,
+    Observability,
+    ObservabilityConfig,
+    Tracer,
+)
 from repro.resilience import ResilienceConfig, RetryPolicy
 
 __version__ = "1.0.0"
@@ -54,6 +60,10 @@ __all__ = [
     "Scrubber",
     "ResilienceConfig",
     "RetryPolicy",
+    "ObservabilityConfig",
+    "Observability",
+    "MetricsRegistry",
+    "Tracer",
     "FAILPOINTS",
     "SimulatedCrash",
     "StorageIO",

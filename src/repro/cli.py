@@ -13,10 +13,17 @@ command   effect
 ``.storage``  print the storage report
 ``.metrics``  print operational counters (JSON; ``.metrics read_path``
               for one section)
+``.explain Q``  print the operator tree for statement ``Q``
+``.profile Q``  execute ``Q`` and print the per-operator profile
 ``.index L P``  create a label(+property) index
 ``.save DIR``   snapshot the engine to a directory
 ``.quit``     exit
 ========  =====================================================
+
+Subcommands (``python -m repro <sub> ...`` / ``aeong <sub> ...``):
+``verify DIR`` runs the offline integrity check, ``metrics DIR``
+exports a saved database's metrics (Prometheus text, ``--json`` for
+the registry dict).
 """
 
 from __future__ import annotations
@@ -94,6 +101,21 @@ class Shell:
         command, args = parts[0], parts[1:]
         if command == ".help":
             print(_help_text(), file=self.out)
+        elif command in (".explain", ".profile"):
+            rest = line.split(None, 1)
+            if len(rest) < 2 or not rest[1].strip():
+                print(f"usage: {command} STATEMENT", file=self.out)
+                return
+            statement = rest[1].strip()
+            try:
+                if command == ".explain":
+                    for plan_line in self.engine.explain_tree(statement):
+                        print(plan_line, file=self.out)
+                else:
+                    profile = self.engine.profile(statement)
+                    print(format_table(profile.table()), file=self.out)
+            except ReproError as exc:
+                print(f"error: {exc}", file=self.out)
         elif command == ".now":
             print(self.engine.now(), file=self.out)
         elif command == ".gc":
@@ -149,8 +171,10 @@ def _help_text() -> str:
         "  CREATE (n:Person {name: 'Jack'})\n"
         "  MATCH (n:Person) RETURN n.name\n"
         "  MATCH (n:Person) TT SNAPSHOT 5 RETURN n\n"
+        "  EXPLAIN MATCH (n:Person) RETURN n.name\n"
+        "  PROFILE MATCH (n) TT SNAPSHOT 5 RETURN n\n"
         "commands: .help .now .gc .storage .metrics [SECTION] "
-        ".index L [P] .save DIR .quit"
+        ".explain Q .profile Q .index L [P] .save DIR .quit"
     )
 
 
@@ -271,11 +295,52 @@ def _verify_main(argv: list[str]) -> int:
         engine.close()
 
 
+def _metrics_main(argv: list[str]) -> int:
+    """``aeong metrics`` — export a saved database's metrics.
+
+    Prints the Prometheus text exposition by default, or the full
+    registry snapshot (counters, histograms, every ``metrics()``
+    section) as JSON with ``--json``.  Exit status 2 when the database
+    cannot be opened.
+    """
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro metrics",
+        description=(
+            "Export the metrics registry of a saved AeonG database "
+            "(Prometheus text format, or JSON with --json)."
+        ),
+    )
+    parser.add_argument("path", help="snapshot or durability directory")
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the registry snapshot as JSON",
+    )
+    options = parser.parse_args(argv)
+    try:
+        engine = _open_for_verify(options.path)
+    except ReproError as exc:
+        print(f"error: cannot open {options.path}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if options.as_json:
+            snapshot = engine.observability.registry.as_dict()
+            print(json.dumps(snapshot, indent=2, default=str))
+        else:
+            print(engine.metrics_text(), end="")
+        return 0
+    finally:
+        engine.close()
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "verify":
         return _verify_main(argv[1:])
+    if argv and argv[0] == "metrics":
+        return _metrics_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Interactive shell for the AeonG temporal graph database",

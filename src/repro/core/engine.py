@@ -59,6 +59,7 @@ from repro.integrity import IntegrityReport, Scrubber
 from repro.kvstore import KVStore
 from repro.mvcc.gc import GarbageCollector
 from repro.mvcc.transaction import Transaction
+from repro.observability import Observability, ObservabilityConfig
 from repro.resilience import ResilienceConfig, ResilienceController, RetryPolicy
 
 
@@ -108,6 +109,12 @@ class AeonG:
         circuit breaker / degraded-read policy.  ``None`` applies the
         defaults (no admission limit, no engine-wide deadline, breaker
         armed with a 5-failure threshold).
+    observability:
+        An :class:`~repro.observability.ObservabilityConfig` tuning the
+        metrics registry, trace spans, and slow-query log (see
+        ``docs/OBSERVABILITY.md``).  ``None`` enables the defaults;
+        ``ObservabilityConfig(enabled=False)`` turns spans and
+        statement recording into no-ops.
     """
 
     def __init__(
@@ -122,6 +129,7 @@ class AeonG:
         durability_dir=None,
         durability_mode: str = "flush",
         resilience: Optional[ResilienceConfig] = None,
+        observability: Optional[ObservabilityConfig] = None,
     ) -> None:
         from repro.faults import StorageIO
 
@@ -133,10 +141,17 @@ class AeonG:
         self.resilience = ResilienceController(resilience)
         self.storage = GraphStorage()
         self.manager = self.storage.manager
+        self.observability = (
+            observability
+            if isinstance(observability, Observability)
+            else Observability(observability)
+        )
         self.history = HistoricalStore(
             kv, reconstruction_cache_size=reconstruction_cache_size
         )
         self.history.resilience = self.resilience
+        self.history.tracer = self.observability.tracer
+        self.history.kv.tracer = self.observability.tracer
         self.anchor_policy = AnchorPolicy(anchor_interval)
         self.migrator = Migrator(self.storage, self.history, self.anchor_policy)
         self.gc = GarbageCollector(
@@ -171,6 +186,9 @@ class AeonG:
         self._durability_dir = None
         #: RecoveryReport from :meth:`open`, None for a fresh engine.
         self.last_recovery = None
+        # Every metrics() section flows through the registry, so the
+        # Prometheus/JSON exporters cover the whole engine.
+        self.observability.registry.register_provider(self.metrics)
         if durability_dir is not None:
             from repro.core.durability import EngineWal
 
@@ -219,9 +237,10 @@ class AeonG:
 
     def commit(self, txn: Transaction) -> int:
         """Commit; returns the commit timestamp (= the new TT.st)."""
-        commit_ts = self.manager.commit(txn)
-        if self._wal is not None and txn.journal:
-            self._wal.append(commit_ts, txn.journal)
+        with self.observability.tracer.span("engine.commit"):
+            commit_ts = self.manager.commit(txn)
+            if self._wal is not None and txn.journal:
+                self._wal.append(commit_ts, txn.journal)
         with self._gc_lock:
             self._commits_since_gc += 1
             due = (
@@ -532,7 +551,8 @@ class AeonG:
                 "migration paused: history-store circuit breaker is open"
             )
         try:
-            staged = self.migrator.migrate(transactions)
+            with self.observability.tracer.span("gc.migrate"):
+                staged = self.migrator.migrate(transactions)
         except StorageError:
             ctrl.history_failed()
             raise
@@ -812,8 +832,18 @@ class AeonG:
         }
 
     def metrics(self) -> dict[str, Any]:
-        """Operational counters across every component (monitoring)."""
+        """Operational counters across every component (monitoring).
+
+        Safe to call at any time, including on a closed engine and
+        concurrently with :meth:`close`: nullable components (WAL,
+        background threads) are read once into locals, so a close
+        racing between the None-check and the attribute access cannot
+        raise.
+        """
         kv_stats = self.history.kv.stats
+        wal = self._wal
+        gc_thread = self._gc_thread
+        scrub_thread = self._scrub_thread
         return {
             "transactions": {
                 "active": self.manager.active_count,
@@ -824,8 +854,8 @@ class AeonG:
                 "runs": self.gc.runs,
                 "deltas_reclaimed": self.gc.deltas_reclaimed,
                 "epochs_paused": self.gc.epochs_paused,
-                "background_running": self._gc_thread is not None
-                and self._gc_thread.is_alive(),
+                "background_running": gc_thread is not None
+                and gc_thread.is_alive(),
                 "background_errors": self._gc_bg_errors,
                 "background_last_error": self._gc_bg_last_error,
                 "deferred_errors": self._gc_deferred_errors,
@@ -840,8 +870,8 @@ class AeonG:
             "resilience": self.resilience.metrics(),
             "integrity": {
                 **self.scrubber.metrics(),
-                "background_running": self._scrub_thread is not None
-                and self._scrub_thread.is_alive(),
+                "background_running": scrub_thread is not None
+                and scrub_thread.is_alive(),
                 "background_errors": self._scrub_bg_errors,
                 "background_last_error": self._scrub_bg_last_error,
             },
@@ -856,6 +886,8 @@ class AeonG:
                 "bytes": self.history.storage_bytes(),
             },
             "read_path": self.history.read_path_metrics(),
+            "operators": self.operators.stats.as_dict(),
+            "observability": self.observability.self_metrics(),
             "caches": {
                 "payloads": len(self.history._payload_cache),
                 "objects": len(self.history._object_cache),
@@ -867,10 +899,8 @@ class AeonG:
                 "bytes": self.storage.approximate_bytes(),
             },
             "wal": {
-                "enabled": self._wal is not None,
-                "records": (
-                    self._wal.records_appended if self._wal is not None else 0
-                ),
+                "enabled": wal is not None,
+                "records": (wal.records_appended if wal is not None else 0),
                 "durability_mode": self.durability_mode,
             },
             "recovery": (
@@ -893,10 +923,13 @@ class AeonG:
         Without an explicit ``txn`` the query runs in its own
         transaction (committed on success).
         """
-        from repro.query.executor import execute_query
+        from repro.query.executor import execute_query, statement_prefix
 
         if txn is not None:
             return execute_query(self, txn, query, parameters)
+        if statement_prefix(query) == "EXPLAIN":
+            # EXPLAIN only plans — no transaction, no commit timestamp.
+            return execute_query(self, None, query, parameters)
         # An implicit transaction is re-runnable by construction (the
         # whole statement re-executes from a fresh snapshot), so route
         # it through the conflict-retry loop.
@@ -1020,6 +1053,43 @@ class AeonG:
 
         return load_engine(directory, **engine_kwargs)
 
+    def metrics_text(self) -> str:
+        """Every metric in the Prometheus text exposition format.
+
+        The registry flattens :meth:`metrics` sections into
+        ``aeong_<section>_<field>`` samples and appends the native
+        counters and span/statement histograms; also served by the
+        ``aeong metrics DIR`` CLI subcommand.
+        """
+        return self.observability.registry.prometheus_text()
+
+    def explain_tree(self, query: str) -> list[str]:
+        """The operator tree for a statement, rendered as the indented
+        ``EXPLAIN`` lines (see ``docs/OBSERVABILITY.md``), without
+        executing anything.  :meth:`explain` keeps the original flat
+        one-operator-per-line format."""
+        from repro.query.profiler import explain_tree
+
+        return explain_tree(self, query)
+
+    def profile(self, query: str, parameters=None, txn: Optional[Transaction] = None):
+        """Execute a statement with per-operator instrumentation.
+
+        Returns a :class:`~repro.query.profiler.ProfileResult` —
+        ``result.table()`` is what a ``PROFILE <stmt>`` statement
+        returns through :meth:`execute`, and ``result.tree()`` is the
+        annotated operator tree.  Without an explicit ``txn`` the
+        statement runs in its own transaction (committed on success,
+        conflict-retried like :meth:`execute`).
+        """
+        from repro.query.profiler import execute_profiled
+
+        if txn is not None:
+            return execute_profiled(self, txn, query, parameters)
+        return self.run_transaction(
+            lambda own: execute_profiled(self, own, query, parameters)
+        )
+
     def explain(self, query: str) -> list[str]:
         """The physical plan for a statement, one operator per line.
 
@@ -1030,7 +1100,7 @@ class AeonG:
         from repro.query.planner import plan_query
 
         plan = plan_query(parse(query), self)
-        lines = [op.describe() for op in plan.ops]
+        lines = plan.describe()
         if plan.tt is not None:
             kind = "SNAPSHOT" if plan.tt.kind == "snapshot" else "BETWEEN"
             lines.append(f"Temporal(TT {kind})")

@@ -73,11 +73,15 @@ class ReadMetrics:
     ``deltas_replayed`` counts backward-record applications actually
     paid; ``reconstructions_avoided`` counts the applications a cache
     hit saved (the hit entry's build cost — what serving the same fetch
-    cold would have replayed).
+    cold would have replayed).  ``versions_served`` counts reclaimed
+    versions materialized for callers — the history-store side of the
+    current-vs-reclaimed split whose current-store half is
+    ``metrics()["operators"]["current_hits"]``.
     """
 
     __slots__ = (
         "fetches",
+        "versions_served",
         "cache_hits",
         "cache_misses",
         "cache_evictions",
@@ -124,6 +128,9 @@ class HistoricalStore:
         #: fetches through the history-store circuit breaker and feeds
         #: it success/failure observations
         self.resilience = None
+        #: the owning engine's Tracer (or None): brackets fetch and
+        #: reconstruct work with ``history.*`` spans (repro.observability)
+        self.tracer = None
         self.records_written = 0
         self.anchors_written = 0
         self.reconstructions = 0
@@ -357,7 +364,25 @@ class HistoricalStore:
         callers serve current-only results), and every KV failure or
         success feeds the breaker.  The ``history.fetch`` failpoint
         fires here so tests can inject deterministic store failures.
+
+        When a tracer is attached, the whole fetch (including list
+        materialization, so reconstruction work is inside the span) is
+        bracketed by a ``history.fetch`` span — recorded on the error
+        path too, so injected faults leave the nesting well-formed.
         """
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return self._fetch_versions_guarded(object_kind, gid, cond, base_view)
+        with tracer.span("history.fetch"):
+            return self._fetch_versions_guarded(object_kind, gid, cond, base_view)
+
+    def _fetch_versions_guarded(
+        self,
+        object_kind: str,
+        gid: int,
+        cond: TemporalCondition,
+        base_view=None,
+    ) -> Iterator:
         ctrl = self.resilience
         if ctrl is not None and not ctrl.allow_history_read():
             return iter(())
@@ -389,6 +414,7 @@ class HistoricalStore:
             raise
         if ctrl is not None:
             ctrl.history_ok()
+        self.read_metrics.versions_served += len(versions)
         return iter(versions)
 
     def _corrupt_stored_record(self, object_kind: str, gid: int) -> bool:
@@ -501,6 +527,15 @@ class HistoricalStore:
         current-store base is surfaced by the caller's chain walk) and
         keeps non-existence states as ``None`` placeholders so point
         lookups can distinguish "deleted at t" from "version at t"."""
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return self._build_versions_inner(object_kind, segment, gid, base_view)
+        with tracer.span("history.reconstruct"):
+            return self._build_versions_inner(object_kind, segment, gid, base_view)
+
+    def _build_versions_inner(
+        self, object_kind: str, segment: bytes, gid: int, base_view
+    ) -> tuple[list, int]:
         if base_view is not None:
             base = _clone(base_view)
         else:

@@ -33,12 +33,36 @@ from repro.mvcc.delta import DeltaAction
 from repro.mvcc.transaction import CommitStatus, Transaction
 
 
+class TemporalOpStats:
+    """Counters for the temporal operators, split by version source.
+
+    ``current_hits`` counts versions served from the current store
+    (MVCC-visible heads plus unreclaimed undo-chain versions — lines
+    SnapshotCheck/TemporalCheck of Algorithm 2); reclaimed-version hits
+    are counted by the history store as
+    ``read_path.versions_served``, so the pair partitions every version
+    a temporal read returns.  Exported as ``metrics()["operators"]``
+    and snapshotted per-operator by ``PROFILE``.
+    """
+
+    __slots__ = ("scans", "expands", "current_hits")
+
+    def __init__(self) -> None:
+        self.scans = 0
+        self.expands = 0
+        self.current_hits = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
 class TemporalOperators:
     """Built-in temporal support for scan and expand."""
 
     def __init__(self, storage: GraphStorage, history: HistoricalStore) -> None:
         self.storage = storage
         self.history = history
+        self.stats = TemporalOpStats()
 
     # -- per-object version retrieval (Algorithm 2 core) ------------------
 
@@ -69,6 +93,7 @@ class TemporalOperators:
         # Current + unreclaimed versions (SnapshotCheck then TemporalCheck).
         for view in version_iterator(record, txn):
             if cond.matches(view.tt_start, view.tt_end):
+                self.stats.current_hits += 1
                 yield view
                 if cond.is_point:
                     return  # flag := false
@@ -107,6 +132,7 @@ class TemporalOperators:
         paper's implementation makes — indexes live in the current
         store).
         """
+        self.stats.scans += 1
         candidates = self._index_candidates(label, prop, value)
         if candidates is not None:
             for gid in sorted(candidates):
@@ -141,6 +167,7 @@ class TemporalOperators:
                         continue
                     if prop is not None and record.properties.get(prop) != value:
                         continue
+                    self.stats.current_hits += 1
                     yield VertexView(record)
                     continue
             if head is None and not self.history.has_history(
@@ -157,6 +184,7 @@ class TemporalOperators:
                 if prop is not None and record.properties.get(prop) != value:
                     continue
                 if cond.matches(record.tt_start, MAX_TIMESTAMP):
+                    self.stats.current_hits += 1
                     yield VertexView(record)
                 continue
             yield from self._filtered_versions(
@@ -260,6 +288,7 @@ class TemporalOperators:
         """
         if direction not in ("out", "in", "both"):
             raise ValueError(f"bad expand direction {direction!r}")
+        self.stats.expands += 1
         refs = self._candidate_refs(vertex.gid, cond, direction, edge_types)
         if len(refs) > 1:
             # Batched FetchFromKV: pull every candidate's records with

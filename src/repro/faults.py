@@ -1,5 +1,8 @@
 """Deterministic fault injection for the storage stack.
 
+Documented in ``docs/API.md`` ("Fault injection") — the failpoint
+catalog, failure modes, and the crash-matrix workflow live there.
+
 Crash safety cannot be asserted, only demonstrated: every I/O boundary
 in the storage stack (WAL appends, fsyncs, truncations, checkpoint file
 writes, renames) is a *failpoint site* registered here, and tests arm a

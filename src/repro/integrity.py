@@ -1,5 +1,9 @@
 """Online integrity verification and self-healing for the hybrid store.
 
+Documented in ``docs/API.md`` ("Integrity") — scrub scheduling,
+quarantine semantics, the ``aeong verify`` subcommand, and the
+``metrics()["integrity"]`` counters live there.
+
 The history store is append-mostly and immutable by design, which makes
 it verifiable: every record carries a payload checksum (see
 :mod:`repro.core.deltas`), and the temporal layout obeys invariants

@@ -35,12 +35,20 @@ from repro.kvstore.iterator import bounded, merge_runs
 from repro.kvstore.memtable import MemTable
 from repro.kvstore.sstable import SSTable
 from repro.kvstore.wal import WalScan, WriteAheadLog
+from repro.observability import NULL_SPAN
 
 _DEFAULT_MEMTABLE_LIMIT = 4 * 1024 * 1024  # bytes, like a small RocksDB
 
 FAILPOINTS.register(
     "kv.flush", "kv.compact", "kv.save.sst", "kv.save.manifest"
 )
+
+
+def _maybe_span(tracer, name: str):
+    """A tracer span when one is attached, else the shared no-op."""
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name)
 
 
 class KVStore:
@@ -89,6 +97,9 @@ class KVStore:
         )
         self.stats = StoreStats()
         self.last_recovery_scan: Optional[WalScan] = None
+        #: the owning engine's Tracer (or None): brackets flush and
+        #: compaction with ``kv.*`` spans (see repro.observability)
+        self.tracer = None
 
     # -- write path -----------------------------------------------------
 
@@ -244,10 +255,11 @@ class KVStore:
         with self._lock:
             if len(self._memtable) == 0:
                 return
-            FAILPOINTS.check("kv.flush")
-            self._runs.insert(0, SSTable.from_memtable(self._memtable))
-            self._memtable = MemTable(seed=self._seed)
-            self.stats.flushes += 1
+            with _maybe_span(self.tracer, "kv.flush"):
+                FAILPOINTS.check("kv.flush")
+                self._runs.insert(0, SSTable.from_memtable(self._memtable))
+                self._memtable = MemTable(seed=self._seed)
+                self.stats.flushes += 1
 
     def _maybe_flush(self) -> None:
         if self._memtable.approximate_bytes >= self._memtable_limit:
@@ -285,12 +297,15 @@ class KVStore:
         with self._lock:
             if len(self._memtable) == 0 and len(self._runs) <= 1:
                 return
-            FAILPOINTS.check("kv.compact")
-            runs = [iter(self._memtable)] + [iter(run) for run in self._runs]
-            merged = list(merge_runs(runs, keep_tombstones=False))
-            self._memtable = MemTable(seed=self._seed)
-            self._runs = [SSTable(merged)] if merged else []
-            self.stats.compactions += 1
+            with _maybe_span(self.tracer, "kv.compact"):
+                FAILPOINTS.check("kv.compact")
+                runs = [iter(self._memtable)] + [
+                    iter(run) for run in self._runs
+                ]
+                merged = list(merge_runs(runs, keep_tombstones=False))
+                self._memtable = MemTable(seed=self._seed)
+                self._runs = [SSTable(merged)] if merged else []
+                self.stats.compactions += 1
 
     # -- persistence ------------------------------------------------------
 

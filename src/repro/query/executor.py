@@ -8,6 +8,7 @@ never hold live storage objects.
 
 from __future__ import annotations
 
+import re
 from typing import Any, Iterator, Optional
 
 from repro.core.temporal import TemporalCondition
@@ -20,6 +21,16 @@ from repro.query.planner import Plan, plan_query
 
 _AGGREGATES = {"count", "sum", "min", "max", "avg", "collect"}
 
+# A leading EXPLAIN / PROFILE keyword routes to the profiler; the rest
+# of the text is the statement it applies to.
+_PROFILE_PREFIX = re.compile(r"^\s*(EXPLAIN|PROFILE)\b", re.IGNORECASE)
+
+
+def statement_prefix(text: str) -> Optional[str]:
+    """``"EXPLAIN"`` / ``"PROFILE"`` if ``text`` carries that prefix."""
+    match = _PROFILE_PREFIX.match(text or "")
+    return match.group(1).upper() if match else None
+
 
 def execute_query(
     engine,
@@ -29,27 +40,57 @@ def execute_query(
 ) -> list[dict[str, Any]]:
     """Parse, plan and run one statement inside ``txn``.
 
+    ``EXPLAIN <stmt>`` returns the operator tree as ``{"plan": line}``
+    rows without executing anything; ``PROFILE <stmt>`` executes with
+    per-operator instrumentation and returns the profile table (see
+    ``repro.query.profiler``).
+
     Statement boundaries scope the engine's degraded-read flag: the
     flag is cleared here, and set again only if this statement's
     temporal reads fall back to current-only results while the
     history-store breaker is open — so ``engine.last_read_degraded``
-    answers the question for the statement that just ran.
+    answers the question for the statement that just ran.  They also
+    bound the slow-query log and the ``statement.seconds`` histogram
+    (see ``repro.observability``).
     """
+    prefixed = _PROFILE_PREFIX.match(text)
+    if prefixed is not None:
+        from repro.query.profiler import execute_profiled, explain_tree
+
+        statement = text[prefixed.end():]
+        if not statement.strip():
+            raise ExecutionError(
+                f"{prefixed.group(1).upper()} requires a statement"
+            )
+        if prefixed.group(1).upper() == "EXPLAIN":
+            return [{"plan": line} for line in explain_tree(engine, statement)]
+        profile = execute_profiled(engine, txn, statement, parameters)
+        engine.observability.record_statement(
+            text, profile.duration, len(profile.rows)
+        )
+        return profile.table()
     controller = getattr(engine, "resilience", None)
     if controller is not None:
         controller.clear_degraded_flag()
-    query = parse(text)
-    plan = plan_query(query, engine)
-    cond = _temporal_condition(engine, plan, parameters)
-    ctx = ExecutionContext(engine, txn, parameters, cond)
-    frames: Iterator[Frame] = iter([{}])
-    for op in plan.ops:
-        frames = op.execute(ctx, frames)
-    if plan.returns is None:
-        for _ in frames:  # drain so writes actually run
-            pass
-        return []
-    return _project(ctx, plan.returns, frames)
+    obs = engine.observability
+    started = obs.clock() if obs.enabled else 0.0
+    with obs.tracer.span("query.statement"):
+        query = parse(text)
+        plan = plan_query(query, engine)
+        cond = _temporal_condition(engine, plan, parameters)
+        ctx = ExecutionContext(engine, txn, parameters, cond)
+        frames: Iterator[Frame] = iter([{}])
+        for op in plan.ops:
+            frames = op.execute(ctx, frames)
+        if plan.returns is None:
+            for _ in frames:  # drain so writes actually run
+                pass
+            rows: list[dict[str, Any]] = []
+        else:
+            rows = _project(ctx, plan.returns, frames)
+    if obs.enabled:
+        obs.record_statement(text, obs.clock() - started, len(rows))
+    return rows
 
 
 def _temporal_condition(engine, plan: Plan, parameters) -> Optional[TemporalCondition]:

@@ -286,6 +286,52 @@ class Once(PhysicalOperator):
         yield {}
 
 
+class ProfiledOperator(PhysicalOperator):
+    """PROFILE instrumentation: wrap an operator, measure every pull.
+
+    Each ``next()`` on the wrapped operator is timed and bracketed by a
+    storage-counter snapshot (``snapshot()`` returns a tuple of counter
+    values — KV seeks, cache hits, current/reclaimed version hits...).
+    Because pulling this operator transitively pulls everything beneath
+    it, the accumulated :attr:`time` and :attr:`counters` are
+    *cumulative over the subtree*; the profiler derives per-operator
+    self values by subtracting the adjacent wrapped child's cumulative
+    (the plan is a linear chain).  See ``repro.query.profiler``.
+    """
+
+    def __init__(self, op: PhysicalOperator, clock, snapshot):
+        self.op = op
+        self.clock = clock
+        self.snapshot = snapshot
+        self.rows = 0
+        self.time = 0.0
+        self.counters: Optional[tuple] = None
+
+    def describe(self) -> str:
+        return self.op.describe()
+
+    def execute(self, ctx, frames):
+        inner = self.op.execute(ctx, frames)
+        if self.counters is None:
+            self.counters = tuple(0 for _ in self.snapshot())
+        while True:
+            started = self.clock()
+            before = self.snapshot()
+            try:
+                frame = next(inner)
+            except StopIteration:
+                return
+            finally:
+                self.time += self.clock() - started
+                after = self.snapshot()
+                self.counters = tuple(
+                    total + (now - was)
+                    for total, now, was in zip(self.counters, after, before)
+                )
+            self.rows += 1
+            yield frame
+
+
 class NodeScan(PhysicalOperator):
     """Bind ``variable`` to vertices matching label/property filters.
 

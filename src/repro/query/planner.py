@@ -39,12 +39,22 @@ _FLIP = {"out": "in", "in": "out", "both": "both"}
 
 @dataclass
 class Plan:
-    """A lowered statement, ready for the executor."""
+    """A lowered statement, ready for the executor.
+
+    ``describe()`` lists the operator chain in pipeline order (source
+    first) — the flat ``engine.explain`` format; the profiler's
+    ``EXPLAIN`` tree renders the same chain root-first (see
+    ``repro.query.profiler``).
+    """
 
     ops: list[PhysicalOperator]
     returns: Optional[ast.ReturnClause]
     tt: Optional[ast.TTClause]
     is_write: bool
+
+    def describe(self) -> list[str]:
+        """One line per physical operator, pipeline order."""
+        return [op.describe() for op in self.ops]
 
 
 def plan_query(query: ast.Query, engine) -> Plan:

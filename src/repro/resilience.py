@@ -1,5 +1,9 @@
 """Transaction-lifecycle resilience: retry, deadlines, admission, breaker.
 
+Documented in ``docs/API.md`` ("Resilience") — configuration knobs,
+degraded-read policies, and the ``metrics()["resilience"]`` counters
+(also exported through the observability registry) live there.
+
 The MVCC write protocol is optimistic (first-updater-wins), the GC
 watermark is pinned by the oldest active snapshot, and the history
 store sits behind real I/O — three places where a misbehaving client or

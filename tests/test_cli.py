@@ -74,6 +74,33 @@ class TestShell:
         output, _ = _capture([".index"])
         assert "usage" in output
 
+    def test_dot_explain(self):
+        output, _ = _capture(
+            ["CREATE (n:Person {name: 'Jack'})",
+             ".explain MATCH (p:Person) RETURN p.name"]
+        )
+        assert "Produce(p.name)" in output
+        assert "└─ NodeScan(p:Person)" in output
+
+    def test_dot_profile(self):
+        output, _ = _capture(
+            ["CREATE (n:Person {name: 'Jack'})",
+             ".profile MATCH (p:Person) RETURN p.name"]
+        )
+        assert "operator" in output and "Total" in output
+
+    def test_explain_profile_as_statements(self):
+        output, _ = _capture(
+            ["CREATE (n:Person {name: 'Jack'})",
+             "EXPLAIN MATCH (p:Person) RETURN p.name",
+             "PROFILE MATCH (p:Person) RETURN p.name"]
+        )
+        assert "NodeScan(p:Person)" in output and "Total" in output
+
+    def test_explain_profile_usage(self):
+        output, _ = _capture([".explain", ".profile"])
+        assert output.count("usage:") == 2
+
     def test_unknown_command(self):
         output, _ = _capture([".frobnicate"])
         assert "unknown command" in output
