@@ -1,0 +1,275 @@
+"""Serving-layer chaos/load bench — the fig6(b) traffic made real.
+
+Three phases over a live TCP server and the async multi-client
+harness (:mod:`repro.server.harness`), all replaying Bi-LDBC operation
+streams:
+
+1. **Saturation** — sweep client counts past the engine's admission
+   capacity (2x and beyond).  The server must shed with structured
+   retryable errors (zero unexpected connection resets), and the p99
+   latency of *served* requests must stay bounded.
+2. **Socket chaos** — rerun the load with disconnect faults armed on
+   the server's connection I/O; every acknowledged insert must exist.
+3. **Kill-recovery** — run the load against an ``aeong serve``
+   subprocess, SIGKILL it mid-stream, reopen the directory, and assert
+   a clean ``RecoveryReport`` plus zero lost acknowledged writes.
+
+``benchmarks/results/BENCH_serving.json`` records the saturation curve
+and both chaos verdicts.  Set ``BENCH_SMOKE=1`` for the CI-sized run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro import AeonG, FAILPOINTS
+from repro.resilience import ResilienceConfig, RetryPolicy
+from repro.server import ServerThread
+from repro.server.app import ServerConfig
+from repro.server.harness import run_load, saturation
+from repro.workloads import bildbc, ldbc
+from benchmarks.conftest import RESULTS_DIR, write_report
+
+pytestmark = pytest.mark.serving
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+#: Engine capacity (admission slots) the sweep saturates against.
+CAPACITY = 4
+#: Client counts; the top level is well past 2x capacity.
+LEVELS = (2, CAPACITY * 2, CAPACITY * 6) if SMOKE else (
+    2, CAPACITY, CAPACITY * 2, CAPACITY * 8, CAPACITY * 24
+)
+OPS = 150 if SMOKE else 600
+KILL_AFTER = 0.4 if SMOKE else 1.5
+
+HARNESS_POLICY = RetryPolicy(max_attempts=8, base_delay=0.01, max_delay=0.2)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    dataset = ldbc.generate(persons=30, seed=42)
+    return dataset, bildbc.generate_operations(dataset, OPS, seed=7)
+
+
+def _payload() -> dict:
+    path = RESULTS_DIR / "BENCH_serving.json"
+    if path.exists():
+        return json.loads(path.read_text())
+    return {"config": {"smoke": SMOKE, "capacity": CAPACITY, "ops": OPS}}
+
+
+def _save(payload: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_serving.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def test_saturation_curve_sheds_gracefully(stream, tmp_path):
+    dataset, ops = stream
+    # Durable engine + tight admission timeout: commits hold their
+    # admission slot across a real WAL flush, so queue waits past
+    # saturation overflow the timeout and the sweep observes structured
+    # shedding.  (A purely in-memory engine finishes each statement
+    # within one GIL quantum and the gate never sees the queue.)
+    engine = AeonG.open(
+        tmp_path / "sat",
+        gc_interval_transactions=0,
+        resilience=ResilienceConfig(
+            max_concurrent_transactions=CAPACITY, admission_timeout=0.005
+        ),
+    )
+    thread = ServerThread(
+        engine,
+        ServerConfig(
+            max_connections=max(LEVELS) * 2,
+            executor_workers=min(max(LEVELS), 32),
+        ),
+    )
+    host, port = thread.start()
+    try:
+        # seed the graph so update/delete ops have targets
+        base = run_load(
+            host, port, dataset.ops, clients=CAPACITY, policy=HARNESS_POLICY
+        )
+        assert base["failed"] == 0
+        curve = saturation(
+            host,
+            port,
+            stream[1].ops,
+            levels=LEVELS,
+            policy=HARNESS_POLICY,
+        )
+    finally:
+        thread.stop()
+        server_counters = thread.server.metrics()
+        engine.close()
+
+    for level in curve:
+        # graceful degradation: whatever was shed came back as
+        # structured retryable errors, never as a connection reset
+        assert level["disconnects"] == 0, level
+        # p99 of *served* requests stays bounded even past saturation
+        # (generous cap: an admission-queue wait plus executor queueing,
+        # far below a stall or a client-side timeout)
+        assert level["p99_ms"] < 10_000, level
+    top = curve[-1]
+    assert top["clients"] >= 2 * CAPACITY
+    assert top["served"] > 0
+    # the server observed backpressure at some level of the sweep
+    # (shed observations on the wire, or gate rejections in metrics)
+    total_shed = sum(level["shed"] for level in curve)
+    assert total_shed > 0 or server_counters["requests_shed"] > 0
+
+    payload = _payload()
+    payload["saturation"] = [
+        {k: v for k, v in level.items() if k != "acked_inserts"}
+        for level in curve
+    ]
+    payload["server_counters"] = server_counters
+    _save(payload)
+
+    lines = ["Serving saturation sweep (Bi-LDBC over TCP, retrying clients)"]
+    lines.append(
+        f"{'clients':>8}{'served':>8}{'shed':>7}{'failed':>8}"
+        f"{'p50ms':>8}{'p99ms':>8}{'req/s':>9}"
+    )
+    for level in curve:
+        lines.append(
+            f"{level['clients']:>8}{level['served']:>8}{level['shed']:>7}"
+            f"{level['failed']:>8}{level['p50_ms']:>8.1f}"
+            f"{level['p99_ms']:>8.1f}{level['served_per_second']:>9.0f}"
+        )
+    print("\n" + write_report("serving_saturation", lines))
+
+
+def test_chaos_load_loses_no_acked_writes(stream, tmp_path):
+    dataset, ops = stream
+    engine = AeonG.open(
+        tmp_path / "chaos",
+        gc_interval_transactions=0,
+        resilience=ResilienceConfig(
+            max_concurrent_transactions=CAPACITY, admission_timeout=0.1
+        ),
+    )
+    thread = ServerThread(engine, ServerConfig(executor_workers=8))
+    host, port = thread.start()
+    try:
+        run_load(host, port, dataset.ops, clients=CAPACITY,
+                 policy=HARNESS_POLICY)
+        FAILPOINTS.activate("server.conn.read", "disconnect", nth=25)
+        FAILPOINTS.activate("server.conn.write", "torn-write", nth=40)
+        try:
+            record = run_load(
+                host, port, stream[1].ops,
+                clients=CAPACITY * 2, policy=HARNESS_POLICY,
+            )
+        finally:
+            FAILPOINTS.clear()
+        acked = record["acked_inserts"]
+        rows = []
+        from repro.server import Client
+
+        with Client(host, port, policy=HARNESS_POLICY) as client:
+            for ext_id in acked:
+                rows.extend(
+                    client.query(
+                        "MATCH (n {ext_id: $e}) RETURN n.ext_id",
+                        {"e": ext_id},
+                    )
+                )
+    finally:
+        thread.stop()
+        engine.close()
+
+    stored = {row["n.ext_id"] for row in rows}
+    lost = [e for e in acked if e not in stored]
+    assert not lost, f"acked inserts lost under socket chaos: {lost}"
+    assert record["disconnects"] > 0, "chaos never bit — raise fault rates"
+
+    payload = _payload()
+    payload["chaos"] = {
+        "acked_inserts": len(acked),
+        "lost": len(lost),
+        "disconnects": record["disconnects"],
+        "retries": record["retries"],
+        "served": record["served"],
+        "failed": record["failed"],
+    }
+    _save(payload)
+
+
+def test_sigkill_mid_load_loses_no_acked_writes(stream, tmp_path):
+    """The acceptance crash test: SIGKILL the serving process mid-load,
+    restart, and verify a clean RecoveryReport plus every acknowledged
+    insert present."""
+    dataset, ops = stream
+    data_dir = tmp_path / "served"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(
+        (RESULTS_DIR.parent.parent / "src").resolve()
+    ) + os.pathsep + env.get("PYTHONPATH", "")
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(data_dir), "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    try:
+        match = None
+        while match is None:
+            line = proc.stdout.readline()
+            assert line, "server died before binding"
+            match = re.search(r"serving on ([\d.]+):(\d+)", line)
+        host, port = match.group(1), int(match.group(2))
+
+        killer = threading.Timer(
+            KILL_AFTER, lambda: os.kill(proc.pid, signal.SIGKILL)
+        )
+        killer.start()
+        record = run_load(
+            host, port, list(dataset.ops) + list(stream[1].ops),
+            clients=CAPACITY * 2, policy=HARNESS_POLICY,
+        )
+        killer.cancel()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait()
+
+    acked = record["acked_inserts"]
+    assert acked, "no write was acknowledged before the kill"
+
+    from repro.core.durability import open_engine
+
+    engine = open_engine(data_dir)
+    try:
+        report = engine.last_recovery
+        assert report is not None
+        assert not report.corruption_detected
+        stored = {
+            row["n.ext_id"]
+            for row in engine.execute("MATCH (n) RETURN n.ext_id")
+        }
+        lost = [e for e in acked if e not in stored]
+        assert not lost, f"acked inserts lost across SIGKILL: {lost}"
+    finally:
+        engine.close()
+
+    payload = _payload()
+    payload["kill_recovery"] = {
+        "acked_inserts": len(acked),
+        "lost": 0,
+        "recovery": report.as_dict(),
+        "served_before_kill": record["served"],
+        "failed_after_kill": record["failed"],
+    }
+    _save(payload)

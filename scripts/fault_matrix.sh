@@ -1,8 +1,12 @@
 #!/usr/bin/env sh
-# Run the crash-consistency matrix standalone: for every registered
-# failpoint site, crash there mid-workload, reopen, and check the
-# committed prefix survived.  Part of the default test run too; this
-# entry point exists for quick iteration on durability code.
+# Run the crash/fault matrix standalone: for every registered failpoint
+# site, inject there mid-workload and check the committed-prefix
+# contract — storage sites crash-and-recover, serving-layer socket
+# sites (server.conn.read / server.conn.write) fault under error,
+# delay, disconnect, short-read and torn-write modes with a live
+# server and a retrying client.  Part of the default test run too;
+# this entry point exists for quick iteration on durability and
+# serving code.
 #
 #   scripts/fault_matrix.sh [extra pytest args...]
 set -eu

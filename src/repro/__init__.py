@@ -26,8 +26,10 @@ from repro.errors import (
     DegradedModeError,
     IntegrityError,
     OverloadError,
+    ProtocolError,
     ReproError,
     SerializationConflict,
+    ServerError,
     TransactionTimeout,
 )
 from repro.faults import FAILPOINTS, SimulatedCrash, StorageIO
@@ -56,6 +58,8 @@ __all__ = [
     "OverloadError",
     "DegradedModeError",
     "IntegrityError",
+    "ProtocolError",
+    "ServerError",
     "IntegrityReport",
     "Scrubber",
     "ResilienceConfig",

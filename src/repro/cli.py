@@ -23,7 +23,8 @@ command   effect
 Subcommands (``python -m repro <sub> ...`` / ``aeong <sub> ...``):
 ``verify DIR`` runs the offline integrity check, ``metrics DIR``
 exports a saved database's metrics (Prometheus text, ``--json`` for
-the registry dict).
+the registry dict), ``serve DIR`` starts the TCP serving layer over a
+durable engine (see ``docs/SERVING.md``).
 """
 
 from __future__ import annotations
@@ -334,6 +335,54 @@ def _metrics_main(argv: list[str]) -> int:
         engine.close()
 
 
+def _serve_main(argv: list[str]) -> int:
+    """``aeong serve`` — run the TCP serving layer over a database.
+
+    Opens (or creates) a durable engine at ``DIR`` — replaying its WAL
+    and printing the recovery summary — binds the asyncio server, and
+    serves until SIGTERM/SIGINT triggers a graceful drain.  Protocol
+    and operational behavior are specified in ``docs/SERVING.md``.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description=(
+            "Serve an AeonG database over TCP (length-prefixed JSON "
+            "protocol) until SIGTERM/SIGINT drains it."
+        ),
+    )
+    parser.add_argument("path", help="durability directory (created if new)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 picks a free port and prints it)",
+    )
+    parser.add_argument(
+        "--max-connections", type=int, default=64,
+        help="connections past this are shed with a retryable error",
+    )
+    parser.add_argument(
+        "--drain-grace", type=float, default=5.0,
+        help="seconds a drain waits for in-flight sessions",
+    )
+    options = parser.parse_args(argv)
+    from repro.server.app import ServerConfig, serve
+
+    try:
+        serve(
+            options.path,
+            config=ServerConfig(
+                host=options.host,
+                port=options.port,
+                max_connections=options.max_connections,
+                drain_grace=options.drain_grace,
+            ),
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -341,6 +390,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _verify_main(argv[1:])
     if argv and argv[0] == "metrics":
         return _metrics_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Interactive shell for the AeonG temporal graph database",

@@ -198,7 +198,11 @@ def replay_into(engine, wal: EngineWal, min_commit_ts: int = 0,
         if commit_ts < min_commit_ts:
             skipped += 1
             continue
-        txn = engine.begin()
+        # begin_replay, not begin(): a live begin consumes an oracle
+        # timestamp, and concurrent committers pack WAL commit
+        # timestamps one apart — replay's own begins would overrun
+        # the next record's forced commit timestamp.
+        txn = engine.manager.begin_replay()
         try:
             for op in ops:
                 _apply_op(engine, txn, op)

@@ -182,6 +182,11 @@ class AeonG:
         self._watchdog_thread: Optional[threading.Thread] = None
         self._watchdog_stop: Optional[threading.Event] = None
         self._closed = False
+        # Serializes the closed-state transition against transaction
+        # starts and the commit+WAL critical section, so a shutdown
+        # racing an in-flight commit can neither strand a zombie
+        # transaction nor close the WAL under an acknowledged append.
+        self._close_lock = threading.Lock()
         self._wal = None
         self._durability_dir = None
         #: RecoveryReport from :meth:`open`, None for a fresh engine.
@@ -221,7 +226,14 @@ class AeonG:
         if gate is not None:
             gate.acquire()
         try:
-            txn = self.manager.begin()
+            # Re-check under the close lock: close() may have landed
+            # while we waited in the admission queue.  Without this, a
+            # begin racing close() would strand a transaction no
+            # watchdog will ever sweep (and pin its admission slot).
+            with self._close_lock:
+                if self._closed:
+                    raise StorageError("engine is closed")
+                txn = self.manager.begin()
         except BaseException:
             if gate is not None:
                 gate.release()
@@ -238,9 +250,20 @@ class AeonG:
     def commit(self, txn: Transaction) -> int:
         """Commit; returns the commit timestamp (= the new TT.st)."""
         with self.observability.tracer.span("engine.commit"):
-            commit_ts = self.manager.commit(txn)
-            if self._wal is not None and txn.journal:
-                self._wal.append(commit_ts, txn.journal)
+            # The close lock makes commit-vs-close atomic: either the
+            # commit (including its WAL append) completes before the
+            # WAL closes, or the transaction is cleanly aborted — never
+            # an acknowledged commit whose journal record was lost.
+            with self._close_lock:
+                if self._closed:
+                    if txn.is_active:
+                        self.manager.abort(txn)
+                    raise StorageError(
+                        "engine is closed; transaction aborted, not committed"
+                    )
+                commit_ts = self.manager.commit(txn)
+                if self._wal is not None and txn.journal:
+                    self._wal.append(commit_ts, txn.journal)
         with self._gc_lock:
             self._commits_since_gc += 1
             due = (
@@ -1030,10 +1053,15 @@ class AeonG:
         self.stop_background_scrub()
         self.stop_background_gc()
         self._stop_watchdog()
-        self._closed = True
-        if self._wal is not None:
-            self._wal.close()
+        # Flip the flag and detach the WAL under the close lock: an
+        # in-flight commit either finishes its append first (we wait
+        # for the lock) or observes the closed flag and aborts cleanly.
+        with self._close_lock:
+            self._closed = True
+            wal = self._wal
             self._wal = None
+        if wal is not None:
+            wal.close()
 
     # -- persistence ----------------------------------------------------------------
 

@@ -134,6 +134,41 @@ class ImmutableHistoryError(TemporalError):
     """
 
 
+class ProtocolError(ReproError):
+    """A malformed or out-of-order message on the wire protocol.
+
+    Raised by the serving layer (:mod:`repro.server`) for oversized or
+    unparseable frames, requests before the handshake, and unknown
+    operations.  Never retryable: the client sent something the
+    protocol spec (``docs/SERVING.md``) forbids.
+    """
+
+
+class ServerError(ReproError):
+    """A structured error response received from an AeonG server.
+
+    Raised by the client in :mod:`repro.server.client` when a request
+    comes back ``ok=false``.  Carries the server's error taxonomy
+    fields so callers (and the retrying client itself) can decide what
+    to do next: ``code`` (the taxonomy identifier, e.g.
+    ``"OVERLOADED"``), ``retryable`` (whether retrying the same request
+    can succeed), and ``retry_after`` (the server's backoff hint in
+    seconds, or ``None``).
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        retryable: bool = False,
+        retry_after=None,
+    ) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.retryable = retryable
+        self.retry_after = retry_after
+
+
 class QueryError(ReproError):
     """Base class for query-language failures."""
 

@@ -40,6 +40,24 @@ Failure modes
     damaged before decoding.  This is the failure checksums exist to
     catch: the caller learns nothing until an integrity check fires.
 
+Socket-level modes (the serving layer's network chaos; interpreted by
+the framing helpers in :mod:`repro.server.protocol` at the
+``server.conn.read`` / ``server.conn.write`` sites):
+
+``delay``
+    The I/O completes, but only after :data:`FAULT_DELAY_SECONDS` of
+    injected latency — a congested or GC-pausing peer.
+``disconnect``
+    The connection is torn down abruptly before the I/O happens
+    (``ConnectionResetError``) — a peer crash or middlebox reset.
+``short-read``
+    On a read site: the frame header arrives, half the body arrives,
+    then the connection dies — the receiver sees a truncated frame.
+``torn-write``
+    On a socket write site: half the encoded frame reaches the wire,
+    then the connection dies — the peer sees torn bytes.  (The same
+    mode name keeps its half-payload meaning at storage sites.)
+
 Activation
 ----------
 
@@ -77,6 +95,9 @@ MODE_CRASH = "crash"
 MODE_TORN_WRITE = "torn-write"
 MODE_PARTIAL_FSYNC = "partial-fsync"
 MODE_CORRUPT = "corrupt"
+MODE_DELAY = "delay"
+MODE_DISCONNECT = "disconnect"
+MODE_SHORT_READ = "short-read"
 
 MODES = (
     MODE_ERROR,
@@ -84,7 +105,14 @@ MODES = (
     MODE_TORN_WRITE,
     MODE_PARTIAL_FSYNC,
     MODE_CORRUPT,
+    MODE_DELAY,
+    MODE_DISCONNECT,
+    MODE_SHORT_READ,
 )
+
+#: Injected latency applied by the ``delay`` mode (socket sites).
+#: Module-level so chaos tests can tune it.
+FAULT_DELAY_SECONDS = 0.05
 
 _ENV_VAR = "REPRO_FAILPOINTS"
 
@@ -432,7 +460,11 @@ __all__ = [
     "MODE_TORN_WRITE",
     "MODE_PARTIAL_FSYNC",
     "MODE_CORRUPT",
+    "MODE_DELAY",
+    "MODE_DISCONNECT",
+    "MODE_SHORT_READ",
     "MODES",
+    "FAULT_DELAY_SECONDS",
     "torn_prefix",
     "corrupt_bytes",
 ]

@@ -58,6 +58,23 @@ class TransactionManager:
             self._active[txn.id] = txn
             return txn
 
+    def begin_replay(self) -> Transaction:
+        """Start a WAL-replay transaction without consuming a timestamp.
+
+        Concurrent live committers can pack WAL commit timestamps one
+        apart (begin A, begin B, commit A at ``n``, commit B at
+        ``n + 1``).  A replay that drew its snapshot from
+        :meth:`TimestampOracle.next` would burn one timestamp per
+        record and overrun the next record's forced commit timestamp.
+        Replay is serial, so its snapshot is simply "everything
+        committed so far": ``oracle.peek() - 1``.
+        """
+        with self._lock:
+            txn = Transaction(self._next_txn_id, self.oracle.peek() - 1)
+            self._next_txn_id += 1
+            self._active[txn.id] = txn
+            return txn
+
     def commit(self, txn: Transaction, commit_ts: Optional[int] = None) -> int:
         """Commit ``txn``; returns its commit timestamp.
 

@@ -1,0 +1,37 @@
+"""The AeonG serving layer (see ``docs/SERVING.md``).
+
+An asyncio TCP server exposing the query language over a
+length-prefixed JSON protocol, built for graceful degradation:
+admission-gated overload shedding with structured retryable errors,
+guaranteed transaction cleanup on session death, SIGTERM drain, and
+socket-level failpoints for chaos testing.
+
+Layout:
+
+* :mod:`repro.server.protocol` — framing, failpoint sites, error
+  taxonomy;
+* :mod:`repro.server.app` — :class:`AeonGServer`, the blocking
+  :class:`ServerThread` façade, and the :func:`serve` CLI entry;
+* :mod:`repro.server.client` — blocking client with capped-exponential
+  retry;
+* :mod:`repro.server.harness` — async multi-client load/chaos harness.
+"""
+
+from repro.server.app import AeonGServer, ServerConfig, ServerThread, serve
+from repro.server.client import Client
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    SITE_CONN_READ,
+    SITE_CONN_WRITE,
+)
+
+__all__ = [
+    "AeonGServer",
+    "ServerConfig",
+    "ServerThread",
+    "serve",
+    "Client",
+    "PROTOCOL_VERSION",
+    "SITE_CONN_READ",
+    "SITE_CONN_WRITE",
+]

@@ -1,0 +1,681 @@
+"""The AeonG serving layer: an asyncio TCP server over the engine.
+
+Engineered for graceful degradation rather than raw throughput:
+
+* **Session layer** — each connection performs a ``hello`` handshake,
+  then owns at most one interactive transaction plus a dictionary of
+  prepared statements.  Per-request deadlines map onto the engine's
+  ``begin(timeout=)`` / ``run_transaction(timeout=)``, so a stalled
+  client cannot pin the GC watermark.  When a connection dies — cleanly
+  or mid-frame — its transaction is aborted and its admission slot
+  released before the session is forgotten.
+* **Overload posture** — connection count is capped, and every
+  transaction admission flows through the engine's ``AdmissionGate``.
+  Saturation therefore surfaces as structured, retryable
+  ``OVERLOADED`` / ``DEGRADED`` responses carrying ``retry_after``
+  hints, never as stalls or connection resets.  ``health`` / ``ready``
+  endpoints are fed from the engine's ``metrics()``.
+* **Lifecycle** — SIGTERM/SIGINT (see :func:`serve`) trigger a drain:
+  stop accepting, let in-flight sessions finish their transactions
+  within a grace period (new work is shed with ``SHUTTING_DOWN``),
+  then abort stragglers and close the engine cleanly.  A hard kill is
+  recovered by the durability layer (``RecoveryReport``) on restart.
+
+Engine calls run on a thread pool (the engine is blocking); tracer
+spans are opened *inside* the pooled work so the tracer's per-thread
+span stacks never interleave across coroutines on the event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import signal
+import socket
+import threading
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import (
+    DegradedModeError,
+    OverloadError,
+    ProtocolError,
+    ReproError,
+    SerializationConflict,
+    TransactionStateError,
+)
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    SITE_CONN_READ,
+    SITE_CONN_WRITE,
+    error_response,
+    read_frame,
+    shed_response,
+    write_frame,
+)
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for one :class:`AeonGServer`."""
+
+    #: Bind address; port 0 lets the OS pick (read it back from
+    #: ``server.address`` after ``start()``).
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Connections past this are greeted with a retryable ``OVERLOADED``
+    #: frame and closed (never a silent reset).
+    max_connections: int = 64
+    #: How long a drain waits for in-flight sessions before aborting
+    #: their transactions.
+    drain_grace: float = 5.0
+    #: Threads executing blocking engine calls.
+    executor_workers: int = 8
+    #: ``retry_after`` hint attached to connection-limit rejections and
+    #: drain shedding.
+    shed_retry_after: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_connections < 1:
+            raise ValueError("max_connections must be >= 1")
+        if self.executor_workers < 1:
+            raise ValueError("executor_workers must be >= 1")
+
+
+class _Session:
+    """Per-connection state: handshake flag, live txn, prepared stmts."""
+
+    __slots__ = ("sid", "ready", "txn", "prepared")
+
+    def __init__(self, sid: int) -> None:
+        self.sid = sid
+        self.ready = False
+        self.txn = None
+        self.prepared: dict[str, str] = {}
+
+
+def _set_nodelay(writer: asyncio.StreamWriter) -> None:
+    """Disable Nagle: frames are small and latency-sensitive, and the
+    request/response rhythm otherwise collides with delayed ACKs."""
+    sock = writer.get_extra_info("socket")
+    if sock is not None:
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - non-TCP transports
+            pass
+
+
+#: Ops a client may send before the ``hello`` handshake completes.
+_PRE_HANDSHAKE_OPS = frozenset({"hello", "ping", "health", "ready"})
+
+#: Ops still served while the server drains (finishing is encouraged;
+#: starting new work is not).
+_DRAIN_OPS = frozenset(
+    {"commit", "abort", "goodbye", "ping", "health", "ready", "hello"}
+)
+
+
+class AeonGServer:
+    """Asyncio TCP server exposing one engine over the wire protocol."""
+
+    def __init__(self, engine, config: Optional[ServerConfig] = None) -> None:
+        self.engine = engine
+        self.config = config or ServerConfig()
+        self.address: Optional[tuple[str, int]] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.executor_workers,
+            thread_name_prefix="aeong-serve",
+        )
+        self._sessions = 0
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._draining = False
+        self._stopped = False
+        self.counters = {
+            "connections_accepted": 0,
+            "connections_rejected": 0,
+            "connections_active": 0,
+            "connections_peak": 0,
+            "requests_served": 0,
+            "requests_failed": 0,
+            "requests_shed": 0,
+            "requests_degraded": 0,
+            "sessions_killed": 0,
+            "protocol_errors": 0,
+            "io_faults": 0,
+            "bytes_out": 0,
+        }
+        engine.observability.registry.register_provider(self._provide_metrics)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        return self.address
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, wait ``drain_grace`` for
+        in-flight sessions, then cancel stragglers (their transactions
+        are aborted by each session's cleanup path)."""
+        if self._stopped:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = {t for t in self._conn_tasks if not t.done()}
+        if pending:
+            _, pending = await asyncio.wait(
+                pending, timeout=self.config.drain_grace
+            )
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        self._stopped = True
+        self._executor.shutdown(wait=True)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- metrics -----------------------------------------------------------
+
+    def metrics(self) -> dict[str, Any]:
+        """The server's own operational counters."""
+        return dict(self.counters, draining=self._draining)
+
+    def _provide_metrics(self) -> dict[str, Any]:
+        return {"server": self.metrics()}
+
+    # -- engine plumbing ---------------------------------------------------
+
+    async def _run(self, span: str, fn, *args, **kwargs):
+        """Run a blocking engine call on the pool, inside a tracer span.
+
+        The span must open and close on the executor thread: the tracer
+        keeps per-thread span stacks, and interleaved coroutines on the
+        loop thread would corrupt them.
+        """
+        tracer = self.engine.observability.tracer
+
+        def work():
+            with tracer.span(span):
+                return fn(*args, **kwargs)
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, functools.partial(work)
+        )
+
+    def _retry_hint(self, exc: BaseException) -> Optional[float]:
+        """The server's backoff suggestion for a retryable failure."""
+        cfg = self.engine.resilience.config
+        if isinstance(exc, OverloadError):
+            return cfg.admission_timeout
+        if isinstance(exc, DegradedModeError):
+            return cfg.breaker_reset_timeout
+        if isinstance(exc, SerializationConflict):
+            return cfg.retry.base_delay
+        return self.config.shed_retry_after
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        _set_nodelay(writer)
+        self.counters["connections_accepted"] += 1
+        if self.counters["connections_active"] >= self.config.max_connections:
+            self.counters["connections_rejected"] += 1
+            await self._farewell(
+                writer,
+                shed_response(
+                    None,
+                    "connection limit reached",
+                    retry_after=self.config.shed_retry_after,
+                    code="OVERLOADED",
+                ),
+            )
+            self._conn_tasks.discard(task)
+            return
+        self.counters["connections_active"] += 1
+        self.counters["connections_peak"] = max(
+            self.counters["connections_peak"],
+            self.counters["connections_active"],
+        )
+        self._sessions += 1
+        session = _Session(self._sessions)
+        try:
+            await self._serve_session(session, reader, writer)
+        except asyncio.CancelledError:
+            # The drain cancelled this session past its grace period.
+            # Finish the task cleanly instead of re-raising: asyncio's
+            # stream-protocol callback calls task.exception(), which
+            # would log a spurious error for a cancelled task, and the
+            # cleanup below aborts the transaction either way.
+            pass
+        finally:
+            self._cleanup_session(session)
+            self.counters["connections_active"] -= 1
+            self._conn_tasks.discard(task)
+            writer.transport.abort()
+
+    def _cleanup_session(self, session: _Session) -> None:
+        """Abort a dead session's transaction (releases its admission
+        slot via the txn's on-abort hook).  Synchronous on purpose —
+        abort is an in-memory rollback, and running it inline keeps the
+        cleanup immune to executor shutdown races."""
+        txn = session.txn
+        session.txn = None
+        if txn is not None and txn.is_active:
+            self.counters["sessions_killed"] += 1
+            try:
+                self.engine.abort(txn)
+            except ReproError:
+                pass  # watchdog beat us to it; slot already released
+
+    async def _farewell(self, writer, payload: dict[str, Any]) -> None:
+        """Best-effort final frame before closing a connection."""
+        try:
+            await write_frame(writer, payload)
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.transport.abort()
+
+    async def _serve_session(self, session, reader, writer) -> None:
+        while True:
+            try:
+                request = await read_frame(reader, site=SITE_CONN_READ)
+            except ProtocolError as exc:
+                self.counters["protocol_errors"] += 1
+                await self._farewell(writer, error_response(None, exc))
+                return
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                return  # peer died mid-frame; cleanup aborts its txn
+            except ReproError as exc:
+                # An armed server.conn.read failpoint in ``error`` mode:
+                # the read never happened, so the connection is toast —
+                # but unlike a storage EIO this is transient transport
+                # trouble, so the farewell frame is marked retryable.
+                self.counters["io_faults"] += 1
+                await self._farewell(
+                    writer,
+                    shed_response(
+                        None,
+                        f"connection I/O failure: {exc}",
+                        retry_after=self.config.shed_retry_after,
+                        code="IO_ERROR",
+                    ),
+                )
+                return
+            if request is None:
+                return  # clean EOF at a frame boundary
+            goodbye = await self._answer(session, writer, request)
+            if goodbye:
+                return
+
+    async def _answer(self, session, writer, request) -> bool:
+        """Dispatch one request and write its response; returns True
+        when the connection should close (goodbye)."""
+        request_id = request.get("id")
+        op = request.get("op")
+        goodbye = False
+        try:
+            response = await self._dispatch(session, request)
+            if op == "goodbye":
+                goodbye = True
+        except Exception as exc:
+            response = self._failure(session, request_id, exc)
+        try:
+            self.counters["bytes_out"] += await write_frame(
+                writer, response, site=SITE_CONN_WRITE
+            )
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            return True  # peer gone; cleanup aborts its txn
+        except ReproError:
+            # Armed server.conn.write failpoint in ``error`` mode: the
+            # response cannot be delivered; drop the connection rather
+            # than desynchronize the request/response pairing.
+            self.counters["io_faults"] += 1
+            return True
+        return goodbye
+
+    def _failure(self, session, request_id, exc: BaseException):
+        """Build the structured error response and update counters."""
+        if isinstance(exc, ProtocolError):
+            self.counters["protocol_errors"] += 1
+        if isinstance(exc, (OverloadError, DegradedModeError)):
+            self.counters["requests_shed"] += 1
+        else:
+            self.counters["requests_failed"] += 1
+        # The engine aborts a transaction that conflicts, times out, or
+        # trips integrity checks — stop tracking it once it is dead.
+        txn = session.txn
+        if txn is not None and not txn.is_active:
+            session.txn = None
+        return error_response(
+            request_id, exc, retry_after=self._retry_hint(exc)
+        )
+
+    async def _dispatch(self, session, request) -> dict[str, Any]:
+        op = request.get("op")
+        request_id = request.get("id")
+        if not isinstance(op, str):
+            raise ProtocolError("request is missing its 'op' field")
+        if not session.ready and op not in _PRE_HANDSHAKE_OPS:
+            raise ProtocolError(f"op {op!r} before the hello handshake")
+        if self._draining and op not in _DRAIN_OPS:
+            self.counters["requests_shed"] += 1
+            return shed_response(
+                request_id,
+                "server is draining",
+                retry_after=self.config.shed_retry_after,
+            )
+
+        if op == "hello":
+            version = request.get("version", PROTOCOL_VERSION)
+            if not isinstance(version, int) or version < 1:
+                raise ProtocolError(f"bad protocol version {version!r}")
+            if version > PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"client speaks protocol {version}, server tops out "
+                    f"at {PROTOCOL_VERSION}"
+                )
+            session.ready = True
+            self.counters["requests_served"] += 1
+            return {
+                "ok": True,
+                "id": request_id,
+                "server": "aeong",
+                "protocol": PROTOCOL_VERSION,
+                "session": session.sid,
+            }
+        if op == "ping":
+            self.counters["requests_served"] += 1
+            return {"ok": True, "id": request_id, "pong": True}
+        if op == "health":
+            return self._health(request_id)
+        if op == "ready":
+            return self._ready(request_id)
+        if op == "metrics":
+            # registry.sections() merges every provider: the engine's
+            # full metrics() plus this server's own "server" section.
+            snapshot = await self._run(
+                "server.metrics",
+                self.engine.observability.registry.sections,
+            )
+            self.counters["requests_served"] += 1
+            return {"ok": True, "id": request_id, "metrics": snapshot}
+        if op == "goodbye":
+            self.counters["requests_served"] += 1
+            return {"ok": True, "id": request_id, "bye": True}
+
+        if op == "query":
+            return await self._op_query(
+                session,
+                request_id,
+                request.get("text"),
+                request.get("params"),
+                request.get("timeout"),
+            )
+        if op == "prepare":
+            return self._op_prepare(
+                session, request_id, request.get("name"), request.get("text")
+            )
+        if op == "execute":
+            name = request.get("name")
+            if not isinstance(name, str) or name not in session.prepared:
+                raise ProtocolError(f"no prepared statement named {name!r}")
+            return await self._op_query(
+                session,
+                request_id,
+                session.prepared[name],
+                request.get("params"),
+                request.get("timeout"),
+            )
+        if op == "begin":
+            return await self._op_begin(
+                session, request_id, request.get("timeout")
+            )
+        if op == "commit":
+            return await self._op_commit(session, request_id)
+        if op == "abort":
+            return await self._op_abort(session, request_id)
+        raise ProtocolError(f"unknown op {op!r}")
+
+    # -- status ops --------------------------------------------------------
+
+    def _health(self, request_id) -> dict[str, Any]:
+        """Liveness: answers even while degraded or draining."""
+        ctrl = self.engine.resilience
+        degraded = ctrl.degraded
+        self.counters["requests_served"] += 1
+        return {
+            "ok": True,
+            "id": request_id,
+            "status": "degraded" if degraded else "ok",
+            "degraded": degraded,
+            "draining": self._draining,
+            "connections": self.counters["connections_active"],
+            "active_transactions": self.engine.manager.active_count,
+        }
+
+    def _ready(self, request_id) -> dict[str, Any]:
+        """Readiness: should this server receive *new* traffic?"""
+        gate = self.engine.resilience.gate
+        saturated = False
+        if gate is not None:
+            snap = gate.snapshot()
+            saturated = snap["in_flight"] >= snap["max_concurrent"]
+        ready = not self._draining and not saturated
+        self.counters["requests_served"] += 1
+        return {
+            "ok": True,
+            "id": request_id,
+            "ready": ready,
+            "draining": self._draining,
+            "saturated": saturated,
+        }
+
+    # -- statement ops -----------------------------------------------------
+
+    def _validate_params(self, params) -> Optional[dict[str, Any]]:
+        if params is None:
+            return None
+        if not isinstance(params, dict):
+            raise ProtocolError("params must be a JSON object")
+        return params
+
+    async def _op_query(
+        self, session, request_id, text, params, timeout
+    ) -> dict[str, Any]:
+        if not isinstance(text, str) or not text.strip():
+            raise ProtocolError("query requires a non-empty 'text'")
+        params = self._validate_params(params)
+        if timeout is not None and not isinstance(timeout, (int, float)):
+            raise ProtocolError("timeout must be a number of seconds")
+        if session.txn is not None:
+            # Surface a watchdog-aborted transaction now (TXN_TIMEOUT)
+            # instead of silently reading a dead snapshot; _failure()
+            # drops the dead txn from the session.
+            session.txn.check_active()
+        engine = self.engine
+
+        def work():
+            from repro.query.executor import execute_query, statement_prefix
+
+            if session.txn is not None:
+                rows = execute_query(engine, session.txn, text, params)
+            elif timeout is not None and statement_prefix(text) != "EXPLAIN":
+                rows = engine.run_transaction(
+                    lambda txn: execute_query(engine, txn, text, params),
+                    timeout=timeout,
+                )
+            else:
+                rows = engine.execute(text, params)
+            return rows, engine.last_read_degraded
+
+        rows, degraded = await self._run("server.query", work)
+        if degraded:
+            self.counters["requests_degraded"] += 1
+        self.counters["requests_served"] += 1
+        response = {"ok": True, "id": request_id, "rows": rows}
+        if degraded:
+            response["degraded"] = True
+        return response
+
+    def _op_prepare(self, session, request_id, name, text) -> dict[str, Any]:
+        if not isinstance(name, str) or not name:
+            raise ProtocolError("prepare requires a statement 'name'")
+        if not isinstance(text, str) or not text.strip():
+            raise ProtocolError("prepare requires a non-empty 'text'")
+        # Validate eagerly so a typo fails at prepare time, not on the
+        # Nth execute (EXPLAIN/PROFILE-prefixed statements validate at
+        # execution, where the prefix is stripped).
+        from repro.query.executor import statement_prefix
+        from repro.query.parser import parse
+
+        if statement_prefix(text) is None:
+            parse(text)
+        session.prepared[name] = text
+        self.counters["requests_served"] += 1
+        return {"ok": True, "id": request_id, "prepared": name}
+
+    # -- transaction ops ---------------------------------------------------
+
+    async def _op_begin(self, session, request_id, timeout) -> dict[str, Any]:
+        if session.txn is not None and session.txn.is_active:
+            raise TransactionStateError(
+                "session already has an open transaction"
+            )
+        if timeout is not None and not isinstance(timeout, (int, float)):
+            raise ProtocolError("timeout must be a number of seconds")
+        session.txn = await self._run(
+            "server.begin", self.engine.begin, timeout=timeout
+        )
+        self.counters["requests_served"] += 1
+        return {"ok": True, "id": request_id, "txn": session.txn.id}
+
+    async def _op_commit(self, session, request_id) -> dict[str, Any]:
+        txn = session.txn
+        if txn is None:
+            raise TransactionStateError("no open transaction to commit")
+        commit_ts = await self._run("server.commit", self.engine.commit, txn)
+        session.txn = None
+        self.counters["requests_served"] += 1
+        return {"ok": True, "id": request_id, "commit_ts": commit_ts}
+
+    async def _op_abort(self, session, request_id) -> dict[str, Any]:
+        txn = session.txn
+        if txn is None:
+            raise TransactionStateError("no open transaction to abort")
+        session.txn = None
+        await self._run("server.abort", self.engine.abort, txn)
+        self.counters["requests_served"] += 1
+        return {"ok": True, "id": request_id, "aborted": True}
+
+
+class ServerThread:
+    """Run an :class:`AeonGServer` on a dedicated event-loop thread.
+
+    The blocking façade used by tests, the example, and the load
+    harness's in-process mode::
+
+        thread = ServerThread(engine)
+        host, port = thread.start()
+        ...
+        thread.stop()   # graceful drain
+    """
+
+    def __init__(self, engine, config: Optional[ServerConfig] = None) -> None:
+        self.server = AeonGServer(engine, config)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self, timeout: float = 10.0) -> tuple[str, int]:
+        self._loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(self._loop)
+            started.set()
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(
+            target=run, name="aeong-server-loop", daemon=True
+        )
+        self._thread.start()
+        started.wait(timeout)
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.start(), self._loop
+        )
+        return future.result(timeout)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(), self._loop
+        )
+        future.result(timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+        self._loop.close()
+        self._loop = None
+
+
+def serve(
+    directory,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    config: Optional[ServerConfig] = None,
+    **engine_kwargs,
+) -> None:
+    """Blocking entry point behind ``aeong serve DIR``.
+
+    Opens (or creates) a durable engine at ``directory`` — replaying
+    its WAL and reporting recovery — then serves until SIGTERM/SIGINT,
+    drains, and closes the engine cleanly.
+    """
+    from repro.core.durability import open_engine
+
+    engine = open_engine(directory, **engine_kwargs)
+    report = engine.last_recovery
+    if report is not None:
+        print(
+            f"recovery: {report.transactions_replayed} txns replayed, "
+            f"torn_tail={report.torn_tail}, "
+            f"corruption_detected={report.corruption_detected}",
+            flush=True,
+        )
+    cfg = config or ServerConfig(host=host, port=port)
+
+    async def main() -> None:
+        server = AeonGServer(engine, cfg)
+        bound_host, bound_port = await server.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, stop.set)
+        print(f"aeong serving on {bound_host}:{bound_port}", flush=True)
+        await stop.wait()
+        print("aeong draining", flush=True)
+        await server.shutdown()
+
+    try:
+        asyncio.run(main())
+    finally:
+        engine.close()
+    print("aeong closed cleanly", flush=True)
+
+
+__all__ = ["ServerConfig", "AeonGServer", "ServerThread", "serve"]

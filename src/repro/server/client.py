@@ -1,0 +1,267 @@
+"""Blocking client for the AeonG serving layer, with chaos-grade retry.
+
+:class:`Client` speaks the length-prefixed JSON protocol of
+:mod:`repro.server.protocol` over a plain socket and layers two kinds
+of robustness on top:
+
+* **Retryable server errors** — responses whose taxonomy entry says
+  ``retryable`` (``OVERLOADED``, ``DEGRADED``, ``CONFLICT``,
+  ``SHUTTING_DOWN``, …) are retried with the engine's own
+  :class:`~repro.resilience.RetryPolicy` (capped exponential backoff
+  with jitter), honouring the server's ``retry_after`` hint when it is
+  larger than the policy's own delay.
+* **Connection failures** — a reset or torn frame triggers a reconnect
+  plus handshake and, for *idempotent* requests, a resend.  A
+  ``commit`` is deliberately **never** resent across a reconnect: the
+  first attempt may have committed before the ack was lost, and
+  resending could double-apply.  Callers see
+  :class:`ConnectionError` and must reconcile — exactly the at-most-
+  once ack semantics the chaos example demonstrates.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from typing import Any, Optional
+
+from repro.errors import ProtocolError, ServerError
+from repro.resilience import RetryPolicy
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    decode_body,
+    decode_length,
+    encode_frame,
+)
+
+_HEADER_SIZE = struct.calcsize(">I")
+
+#: Default retry schedule: a handful of capped-exponential attempts.
+DEFAULT_POLICY = RetryPolicy(max_attempts=6, base_delay=0.02, max_delay=0.5)
+
+
+class Client:
+    """One connection-with-retries to an AeonG server.
+
+    Usable as a context manager; reconnects transparently, so a single
+    instance survives server restarts and injected disconnects.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        policy: Optional[RetryPolicy] = None,
+        connect_timeout: float = 5.0,
+        request_timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.policy = policy or DEFAULT_POLICY
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
+        self._sock: Optional[socket.socket] = None
+        self._next_id = 0
+        self._prepared: dict[str, str] = {}
+        #: Observability for the harness: how often this client had to
+        #: retry, reconnect, or wait out backpressure.
+        self.stats = {
+            "requests": 0,
+            "retries": 0,
+            "reconnects": 0,
+            "shed_seen": 0,
+            "degraded_seen": 0,
+        }
+
+    # -- connection management ---------------------------------------------
+
+    def connect(self) -> dict[str, Any]:
+        """(Re)connect and shake hands; returns the hello response."""
+        self.close()
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout
+        )
+        sock.settimeout(self.request_timeout)
+        # Small latency-sensitive frames: Nagle + delayed ACK would add
+        # tens of milliseconds to every round trip.
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        hello = self._roundtrip({"op": "hello", "version": PROTOCOL_VERSION})
+        # Prepared statements are per-session server state: replay them
+        # so a reconnect is invisible to callers of execute().
+        for name, text in self._prepared.items():
+            self._roundtrip({"op": "prepare", "name": name, "text": text})
+        return hello
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "Client":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        try:
+            if self._sock is not None:
+                self._roundtrip({"op": "goodbye"})
+        except (ConnectionError, OSError, ServerError, ProtocolError):
+            pass
+        self.close()
+
+    # -- wire --------------------------------------------------------------
+
+    def _recv_exactly(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise ConnectionResetError(
+                    f"server closed mid-frame ({n - remaining}/{n} bytes)"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _roundtrip(self, request: dict[str, Any]) -> dict[str, Any]:
+        """One frame out, one frame in.  Raises :class:`ServerError`
+        for ``ok=false`` responses, ``ConnectionError`` for transport
+        failures (including timeouts, which leave the stream
+        desynchronized and therefore poison the socket)."""
+        if self._sock is None:
+            raise ConnectionResetError("not connected")
+        self._next_id += 1
+        request = dict(request, id=self._next_id)
+        try:
+            self._sock.sendall(encode_frame(request))
+            header = self._recv_exactly(_HEADER_SIZE)
+            body = self._recv_exactly(decode_length(header))
+        except socket.timeout as exc:
+            self.close()
+            raise ConnectionResetError(f"request timed out: {exc}") from None
+        except (ConnectionError, OSError):
+            self.close()
+            raise
+        response = decode_body(body)
+        if response.get("ok"):
+            return response
+        error = response.get("error") or {}
+        raise ServerError(
+            error.get("code", "ERROR"),
+            error.get("message", "unknown server error"),
+            retryable=bool(error.get("retryable")),
+            retry_after=error.get("retry_after"),
+        )
+
+    # -- the retry loop ----------------------------------------------------
+
+    def request(
+        self, request: dict[str, Any], idempotent: bool = True
+    ) -> dict[str, Any]:
+        """Send with retries.
+
+        Retries (up to ``policy.max_attempts``) when the server said
+        "try again" or the connection died — except that a
+        non-idempotent request (``commit``) is never resent after its
+        bytes may have reached the server.
+        """
+        self.stats["requests"] += 1
+        policy = self.policy
+        attempt = 0
+        while True:
+            attempt += 1
+            sent = False
+            try:
+                if self._sock is None:
+                    self.stats["reconnects"] += 1
+                    self.connect()
+                sent = True
+                return self._roundtrip(request)
+            except ServerError as exc:
+                if not exc.retryable or attempt >= policy.max_attempts:
+                    raise
+                self.stats["shed_seen"] += 1
+                delay = policy.delay(attempt)
+                if exc.retry_after is not None:
+                    delay = max(delay, float(exc.retry_after))
+                policy.sleep(delay)
+            except (ConnectionError, OSError):
+                if (sent and not idempotent) or attempt >= policy.max_attempts:
+                    raise
+                policy.sleep(policy.delay(attempt))
+            self.stats["retries"] += 1
+
+    # -- convenience ops ---------------------------------------------------
+
+    def query(
+        self,
+        text: str,
+        params: Optional[dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+        idempotent: bool = True,
+    ) -> list[dict[str, Any]]:
+        request: dict[str, Any] = {"op": "query", "text": text}
+        if params is not None:
+            request["params"] = params
+        if timeout is not None:
+            request["timeout"] = timeout
+        response = self.request(request, idempotent=idempotent)
+        if response.get("degraded"):
+            self.stats["degraded_seen"] += 1
+        return response["rows"]
+
+    def prepare(self, name: str, text: str) -> None:
+        self._prepared[name] = text
+        self.request({"op": "prepare", "name": name, "text": text})
+
+    def execute(
+        self,
+        name: str,
+        params: Optional[dict[str, Any]] = None,
+        idempotent: bool = True,
+    ) -> list[dict[str, Any]]:
+        request: dict[str, Any] = {"op": "execute", "name": name}
+        if params is not None:
+            request["params"] = params
+        response = self.request(request, idempotent=idempotent)
+        if response.get("degraded"):
+            self.stats["degraded_seen"] += 1
+        return response["rows"]
+
+    def begin(self, timeout: Optional[float] = None) -> int:
+        request: dict[str, Any] = {"op": "begin"}
+        if timeout is not None:
+            request["timeout"] = timeout
+        return self.request(request)["txn"]
+
+    def commit(self) -> int:
+        """Commit the session transaction.
+
+        Never resent across a reconnect — a lost ack after the commit
+        frame reached the server would otherwise double-apply.  Raises
+        ``ConnectionError`` in that window; the write may or may not be
+        durable, and only the server's state can say which.
+        """
+        return self.request({"op": "commit"}, idempotent=False)["commit_ts"]
+
+    def abort(self) -> None:
+        self.request({"op": "abort"})
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def health(self) -> dict[str, Any]:
+        return self.request({"op": "health"})
+
+    def ready(self) -> bool:
+        return bool(self.request({"op": "ready"}).get("ready"))
+
+    def metrics(self) -> dict[str, Any]:
+        return self.request({"op": "metrics"})["metrics"]
+
+
+__all__ = ["Client", "DEFAULT_POLICY"]

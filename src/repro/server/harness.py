@@ -1,0 +1,334 @@
+"""Async load harness: hundreds of simulated clients over one loop.
+
+Replays Bi-LDBC operation streams (:mod:`repro.workloads.bildbc`)
+against a running AeonG server, translating each
+:class:`~repro.baselines.interface.GraphOp` into a parameterized
+query-language statement.  Every simulated client runs the same
+capped-exponential retry discipline as :class:`repro.server.client.
+Client` — retryable server errors back off (honouring ``retry_after``),
+connection drops reconnect — so the harness measures the *served*
+experience under chaos, not just the happy path.
+
+What it records, per load level:
+
+* latency of admitted (served) requests — p50/p99/mean;
+* served vs shed vs failed vs degraded counts, retries, disconnects;
+* the ``ext_id`` of every **acknowledged** insert, so a kill-and-
+  restart test can assert zero acknowledged writes were lost.
+
+``saturation()`` sweeps client counts past the engine's admission
+capacity and returns the curve that lands in
+``benchmarks/results/BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.baselines.interface import (
+    ADD_EDGE,
+    ADD_VERTEX,
+    DELETE_EDGE,
+    DELETE_VERTEX,
+    GraphOp,
+    UPDATE_EDGE,
+    UPDATE_VERTEX,
+)
+from repro.errors import ServerError
+from repro.resilience import RetryPolicy
+from repro.server.protocol import PROTOCOL_VERSION, read_frame, write_frame
+
+#: Retry schedule for simulated clients: fast, bounded, jittered.
+HARNESS_POLICY = RetryPolicy(max_attempts=6, base_delay=0.01, max_delay=0.25)
+
+_IDENT_SAFE = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_"
+)
+
+
+def _ident(name: str) -> str:
+    """Reject property/label names that cannot appear in query text."""
+    if not name or not set(name) <= _IDENT_SAFE or name[0].isdigit():
+        raise ValueError(f"unsupported identifier in workload op: {name!r}")
+    return name
+
+
+def statement_for_op(op: GraphOp) -> tuple[str, dict[str, Any]]:
+    """Translate one workload operation into ``(text, params)``.
+
+    MATCH-based statements no-op (zero rows, no error) when their
+    target is missing — so cross-client ordering races degrade
+    gracefully instead of erroring the stream.
+    """
+    if op.kind == ADD_VERTEX:
+        props = {"ext_id": op.ext_id, **(op.properties or {})}
+        fields = ", ".join(f"{_ident(k)}: ${_ident(k)}" for k in props)
+        return f"CREATE (n:{_ident(op.label)} {{{fields}}})", props
+    if op.kind == ADD_EDGE:
+        props = {"ext_id": op.ext_id, **(op.properties or {})}
+        fields = ", ".join(f"{_ident(k)}: ${_ident(k)}" for k in props)
+        text = (
+            "MATCH (a {ext_id: $__src}), (b {ext_id: $__dst}) "
+            f"CREATE (a)-[:{_ident(op.label)} {{{fields}}}]->(b)"
+        )
+        return text, dict(props, __src=op.src, __dst=op.dst)
+    if op.kind == UPDATE_VERTEX:
+        return (
+            f"MATCH (n {{ext_id: $ext_id}}) SET n.{_ident(op.prop)} = $value",
+            {"ext_id": op.ext_id, "value": op.value},
+        )
+    if op.kind == UPDATE_EDGE:
+        return (
+            "MATCH (a)-[r]->(b) WHERE r.ext_id = $ext_id "
+            f"SET r.{_ident(op.prop)} = $value",
+            {"ext_id": op.ext_id, "value": op.value},
+        )
+    if op.kind == DELETE_EDGE:
+        return (
+            "MATCH (a)-[r]->(b) WHERE r.ext_id = $ext_id DELETE r",
+            {"ext_id": op.ext_id},
+        )
+    if op.kind == DELETE_VERTEX:
+        return (
+            "MATCH (n {ext_id: $ext_id}) DETACH DELETE n",
+            {"ext_id": op.ext_id},
+        )
+    raise ValueError(f"unknown op kind {op.kind!r}")
+
+
+@dataclass
+class ClientStats:
+    """One simulated client's view of the run."""
+
+    served: int = 0
+    shed: int = 0
+    failed: int = 0
+    degraded: int = 0
+    retries: int = 0
+    disconnects: int = 0
+    #: Wall-clock seconds of each *served* request (first byte of the
+    #: attempt that succeeded to its ack).
+    latencies: list[float] = field(default_factory=list)
+    #: ext_ids of acknowledged ADD_VERTEX statements — the set the
+    #: kill-and-restart test checks against the recovered store.
+    acked_inserts: list[str] = field(default_factory=list)
+
+
+class _AsyncClient:
+    """Minimal asyncio twin of :class:`repro.server.client.Client`."""
+
+    def __init__(self, host: str, port: int, policy: RetryPolicy) -> None:
+        self.host = host
+        self.port = port
+        self.policy = policy
+        self.stats = ClientStats()
+        self._reader = None
+        self._writer = None
+        self._next_id = 0
+
+    async def connect(self) -> None:
+        await self.close()
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        sock = self._writer.get_extra_info("socket")
+        if sock is not None:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        await self._roundtrip({"op": "hello", "version": PROTOCOL_VERSION})
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.transport.abort()
+            finally:
+                self._reader = self._writer = None
+
+    async def _roundtrip(self, request: dict[str, Any]) -> dict[str, Any]:
+        self._next_id += 1
+        await write_frame(self._writer, dict(request, id=self._next_id))
+        response = await read_frame(self._reader)
+        if response is None:
+            raise ConnectionResetError("server closed the connection")
+        if response.get("ok"):
+            return response
+        error = response.get("error") or {}
+        raise ServerError(
+            error.get("code", "ERROR"),
+            error.get("message", "unknown server error"),
+            retryable=bool(error.get("retryable")),
+            retry_after=error.get("retry_after"),
+        )
+
+    async def request(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Send with the harness retry discipline; raises after the
+        policy is exhausted (callers count that as ``failed``)."""
+        policy = self.policy
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                if self._writer is None:
+                    await self.connect()
+                return await self._roundtrip(request)
+            except ServerError as exc:
+                if not exc.retryable or attempt >= policy.max_attempts:
+                    raise
+                self.stats.shed += 1
+                delay = policy.delay(attempt)
+                if exc.retry_after is not None:
+                    delay = max(delay, float(exc.retry_after))
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                self.stats.disconnects += 1
+                await self.close()
+                if attempt >= policy.max_attempts:
+                    raise
+                delay = policy.delay(attempt)
+            self.stats.retries += 1
+            await asyncio.sleep(delay)
+
+
+async def _replay(
+    client: _AsyncClient,
+    ops: Sequence[GraphOp],
+    timeout: Optional[float],
+) -> None:
+    """One client's life: replay its slice of the stream, one
+    auto-commit statement per op, recording served latency and acks."""
+    stats = client.stats
+    for op in ops:
+        try:
+            text, params = statement_for_op(op)
+        except ValueError:
+            stats.failed += 1
+            continue
+        request: dict[str, Any] = {"op": "query", "text": text,
+                                   "params": params}
+        if timeout is not None:
+            request["timeout"] = timeout
+        started = time.perf_counter()
+        try:
+            response = await client.request(request)
+        except (ServerError, ConnectionError, OSError,
+                asyncio.IncompleteReadError):
+            stats.failed += 1
+            continue
+        stats.latencies.append(time.perf_counter() - started)
+        stats.served += 1
+        if response.get("degraded"):
+            stats.degraded += 1
+        if op.kind == ADD_VERTEX:
+            # The server only acks after engine.commit() returned, and
+            # commit appends to the WAL first — ack implies durable.
+            stats.acked_inserts.append(op.ext_id)
+    await client.close()
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty series."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def _partition(ops: Sequence[GraphOp], clients: int) -> list[list[GraphOp]]:
+    slices: list[list[GraphOp]] = [[] for _ in range(clients)]
+    for index, op in enumerate(ops):
+        slices[index % clients].append(op)
+    return slices
+
+
+def run_load(
+    host: str,
+    port: int,
+    ops: Sequence[GraphOp],
+    clients: int = 10,
+    timeout: Optional[float] = None,
+    policy: Optional[RetryPolicy] = None,
+) -> dict[str, Any]:
+    """Replay ``ops`` from ``clients`` concurrent simulated clients.
+
+    Returns the aggregated level record (counts, latency percentiles in
+    milliseconds, acked insert ids) used by the bench and the example.
+    """
+    policy = policy or HARNESS_POLICY
+    slices = _partition(ops, clients)
+
+    async def main() -> list[ClientStats]:
+        pool = [_AsyncClient(host, port, policy) for _ in slices]
+        await asyncio.gather(
+            *(
+                _replay(client, ops_slice, timeout)
+                for client, ops_slice in zip(pool, slices)
+            )
+        )
+        return [client.stats for client in pool]
+
+    started = time.perf_counter()
+    all_stats = asyncio.run(main())
+    wall = time.perf_counter() - started
+
+    latencies = [s for stats in all_stats for s in stats.latencies]
+    served = sum(s.served for s in all_stats)
+    record = {
+        "clients": clients,
+        "offered": len(ops),
+        "served": served,
+        "shed": sum(s.shed for s in all_stats),
+        "failed": sum(s.failed for s in all_stats),
+        "degraded": sum(s.degraded for s in all_stats),
+        "retries": sum(s.retries for s in all_stats),
+        "disconnects": sum(s.disconnects for s in all_stats),
+        "p50_ms": percentile(latencies, 0.50) * 1e3,
+        "p99_ms": percentile(latencies, 0.99) * 1e3,
+        "mean_ms": (sum(latencies) / len(latencies) * 1e3)
+        if latencies
+        else 0.0,
+        "wall_seconds": wall,
+        "served_per_second": served / wall if wall > 0 else 0.0,
+        "acked_inserts": sorted(
+            {e for s in all_stats for e in s.acked_inserts}
+        ),
+    }
+    return record
+
+
+def saturation(
+    host: str,
+    port: int,
+    ops: Sequence[GraphOp],
+    levels: Sequence[int] = (1, 4, 16, 64),
+    timeout: Optional[float] = None,
+    policy: Optional[RetryPolicy] = None,
+) -> list[dict[str, Any]]:
+    """Sweep client counts (the saturation curve of BENCH_serving).
+
+    Each level replays the same-size stream from more clients; past the
+    engine's admission capacity the shed share should rise while the
+    p99 of *served* requests stays bounded — graceful degradation made
+    measurable.
+    """
+    curve = []
+    for clients in levels:
+        curve.append(
+            run_load(
+                host, port, ops, clients=clients, timeout=timeout,
+                policy=policy,
+            )
+        )
+    return curve
+
+
+__all__ = [
+    "HARNESS_POLICY",
+    "ClientStats",
+    "statement_for_op",
+    "percentile",
+    "run_load",
+    "saturation",
+]

@@ -1,0 +1,277 @@
+"""Wire protocol for the AeonG serving layer.
+
+Documented in ``docs/SERVING.md`` (frame format, request/response
+schema, and the full error taxonomy with its retryability table).
+
+Frames are length-prefixed JSON: a 4-byte big-endian unsigned length
+followed by that many bytes of UTF-8 JSON.  One request frame yields
+exactly one response frame; requests on one connection are processed
+in order.  The JSON payloads are plain objects — every request carries
+an ``op`` and an ``id``, every response echoes the ``id`` and carries
+``ok`` plus either result fields or a structured ``error`` object::
+
+    {"ok": false, "id": 7,
+     "error": {"code": "OVERLOADED", "message": "...",
+               "retryable": true, "retry_after": 0.05}}
+
+The module also owns the serving layer's *socket failpoints*: the
+``server.conn.read`` / ``server.conn.write`` sites evaluated by the
+async framing helpers, interpreting the network-flavoured modes of
+:mod:`repro.faults` (``delay``, ``disconnect``, ``short-read``,
+``torn-write``) so the chaos harness can tear connections at exactly
+the byte boundary it wants.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Optional
+
+from repro import faults
+from repro.errors import (
+    DegradedModeError,
+    FaultInjected,
+    IntegrityError,
+    CorruptionError,
+    GraphError,
+    OverloadError,
+    ProtocolError,
+    QueryError,
+    ReproError,
+    SerializationConflict,
+    StorageError,
+    TemporalError,
+    TransactionStateError,
+    TransactionTimeout,
+)
+from repro.faults import (
+    FAILPOINTS,
+    MODE_DELAY,
+    MODE_DISCONNECT,
+    MODE_SHORT_READ,
+    MODE_TORN_WRITE,
+)
+
+#: Protocol version spoken by this server and client.
+PROTOCOL_VERSION = 1
+
+#: A frame larger than this is a protocol violation (guards the server
+#: against a client asking it to buffer gigabytes).
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+#: The serving layer's socket failpoint sites (armable like any
+#: storage site; exercised by the fault matrix).
+SITE_CONN_READ = "server.conn.read"
+SITE_CONN_WRITE = "server.conn.write"
+FAILPOINTS.register(SITE_CONN_READ, SITE_CONN_WRITE)
+
+
+# -- framing (sync: used by the blocking client) ---------------------------
+
+
+def encode_frame(payload: dict[str, Any]) -> bytes:
+    """Serialize one message to its wire form (header + JSON body)."""
+    body = json.dumps(payload, separators=(",", ":"), default=str).encode()
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict[str, Any]:
+    """Parse a frame body; anything but a JSON object is a violation."""
+    try:
+        payload = json.loads(body.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"unparseable frame body: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def decode_length(header: bytes) -> int:
+    """Validate and unpack a frame header."""
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"declared frame length {length} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return length
+
+
+# -- framing (async: the server's injectable I/O) --------------------------
+
+
+async def _apply_read_fault(mode: Optional[str], reader, site: str):
+    """Interpret a socket fault mode on the read path.
+
+    Returns the truncated bytes consumed so far for ``short-read`` (the
+    caller raises after observing them); raises directly for the
+    abrupt modes.
+    """
+    if mode == MODE_DELAY:
+        await asyncio.sleep(faults.FAULT_DELAY_SECONDS)
+    elif mode == MODE_DISCONNECT:
+        raise ConnectionResetError(f"injected disconnect at {site}")
+
+
+async def read_frame(reader: asyncio.StreamReader, site: Optional[str] = None):
+    """Read one frame; returns the decoded payload or ``None`` on a
+    clean EOF at a frame boundary.
+
+    With ``site`` given, evaluates that failpoint before the read:
+    ``delay`` injects latency, ``disconnect`` raises
+    ``ConnectionResetError``, and ``short-read`` consumes the header
+    plus half the body and then dies mid-frame — exactly what a peer
+    crash between two TCP segments looks like.
+    """
+    mode = None
+    if site is not None:
+        mode = FAILPOINTS.check(site)  # error -> FaultInjected
+        await _apply_read_fault(mode, reader, site)
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise ProtocolError(
+            f"connection closed mid-header ({len(exc.partial)}/4 bytes)"
+        ) from None
+    length = decode_length(header)
+    if mode == MODE_SHORT_READ:
+        # Consume what the "peer" managed to send, then die mid-frame.
+        await reader.read(max(1, length // 2))
+        raise ConnectionResetError(f"injected short read at {site}")
+    body = await reader.readexactly(length)
+    return decode_body(body)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter,
+    payload: dict[str, Any],
+    site: Optional[str] = None,
+) -> int:
+    """Write one frame; returns the bytes put on the wire.
+
+    With ``site`` given, evaluates that failpoint first: ``delay``
+    injects latency, ``disconnect`` aborts the transport before any
+    byte is sent, ``torn-write`` puts half the frame on the wire and
+    then aborts — the peer sees torn bytes followed by a reset.
+    """
+    data = encode_frame(payload)
+    if site is not None:
+        mode = FAILPOINTS.check(site)
+        if mode == MODE_DELAY:
+            await asyncio.sleep(faults.FAULT_DELAY_SECONDS)
+        elif mode == MODE_DISCONNECT:
+            writer.transport.abort()
+            raise ConnectionResetError(f"injected disconnect at {site}")
+        elif mode == MODE_TORN_WRITE:
+            writer.write(data[: len(data) // 2])
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            writer.transport.abort()
+            raise ConnectionResetError(f"injected torn write at {site}")
+    writer.write(data)
+    await writer.drain()
+    return len(data)
+
+
+# -- error taxonomy --------------------------------------------------------
+
+#: Taxonomy codes, most specific exception first (isinstance dispatch).
+#: ``retryable`` means "the same request can succeed later without the
+#: client changing anything"; ``retry_after`` hints are filled in by
+#: the server from its engine's resilience configuration.
+_TAXONOMY: tuple[tuple[type, str, bool], ...] = (
+    (OverloadError, "OVERLOADED", True),
+    (DegradedModeError, "DEGRADED", True),
+    (SerializationConflict, "CONFLICT", True),
+    (TransactionTimeout, "TXN_TIMEOUT", True),
+    (TransactionStateError, "TXN_STATE", False),
+    (IntegrityError, "INTEGRITY", False),
+    (CorruptionError, "CORRUPTION", False),
+    (FaultInjected, "IO_ERROR", False),
+    (QueryError, "QUERY_ERROR", False),
+    (GraphError, "GRAPH_ERROR", False),
+    (TemporalError, "TEMPORAL_ERROR", False),
+    (ProtocolError, "PROTOCOL", False),
+    (StorageError, "STORAGE", False),
+    (ReproError, "ERROR", False),
+)
+
+#: The code used when the server sheds work because it is draining.
+CODE_SHUTTING_DOWN = "SHUTTING_DOWN"
+#: The code used for exceptions outside the ReproError family.
+CODE_INTERNAL = "INTERNAL"
+
+
+def classify(exc: BaseException) -> tuple[str, bool]:
+    """Map an exception to its ``(code, retryable)`` taxonomy entry."""
+    for exc_type, code, retryable in _TAXONOMY:
+        if isinstance(exc, exc_type):
+            return code, retryable
+    return CODE_INTERNAL, False
+
+
+def error_response(
+    request_id: Any,
+    exc: BaseException,
+    retry_after: Optional[float] = None,
+) -> dict[str, Any]:
+    """The structured ``ok=false`` response for one failed request."""
+    code, retryable = classify(exc)
+    error: dict[str, Any] = {
+        "code": code,
+        "message": str(exc) or type(exc).__name__,
+        "retryable": retryable,
+    }
+    if retryable and retry_after is not None:
+        error["retry_after"] = retry_after
+    return {"ok": False, "id": request_id, "error": error}
+
+
+def shed_response(
+    request_id: Any,
+    message: str,
+    retry_after: Optional[float] = None,
+    code: str = CODE_SHUTTING_DOWN,
+) -> dict[str, Any]:
+    """A structured retryable rejection (drain or connection limit)."""
+    error: dict[str, Any] = {
+        "code": code,
+        "message": message,
+        "retryable": True,
+    }
+    if retry_after is not None:
+        error["retry_after"] = retry_after
+    return {"ok": False, "id": request_id, "error": error}
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "SITE_CONN_READ",
+    "SITE_CONN_WRITE",
+    "CODE_SHUTTING_DOWN",
+    "CODE_INTERNAL",
+    "encode_frame",
+    "decode_body",
+    "decode_length",
+    "read_frame",
+    "write_frame",
+    "classify",
+    "error_response",
+    "shed_response",
+]

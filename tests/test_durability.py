@@ -95,6 +95,30 @@ class TestRecovery:
         assert replayed == original
         recovered.close()
 
+    def test_replay_survives_packed_concurrent_commits(self, tmp_path):
+        """Overlapping committers pack WAL commit timestamps one apart
+        (begin A, begin B, commit A at n, commit B at n + 1).  Replay
+        must not burn oracle timestamps on its own begins, or the
+        second record's forced timestamp lands "in the past"."""
+        db = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        a = db.begin()
+        b = db.begin()
+        va = db.create_vertex(a, ["P"], {"k": "a"})
+        vb = db.create_vertex(b, ["P"], {"k": "b"})
+        ts_a = db.commit(a)
+        ts_b = db.commit(b)
+        assert ts_b == ts_a + 1  # the packed shape that broke replay
+        db.close()
+        recovered = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        assert recovered.last_recovery.transactions_replayed == 2
+        with recovered.transaction() as txn:
+            keys = {
+                recovered.get_vertex(txn, gid).properties["k"]
+                for gid in (va, vb)
+            }
+        assert keys == {"a", "b"}
+        recovered.close()
+
     def test_replay_preserves_gids(self, tmp_path):
         db = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
         ids = _workload(db)

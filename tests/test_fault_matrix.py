@@ -25,6 +25,9 @@ from repro.errors import FaultInjected
 from repro.faults import FAILPOINTS, SimulatedCrash
 from repro.kvstore import KVStore
 from repro.kvstore.sstable import SSTable
+# Importing the protocol module registers the server.conn.* socket
+# sites, so the completeness check below sees (and demands) them.
+from repro.server.protocol import SITE_CONN_READ, SITE_CONN_WRITE
 
 pytestmark = pytest.mark.fault_matrix
 
@@ -380,6 +383,82 @@ class TestErrorOnlySites:
             db.abort(txn)
 
 
+# -- serving-layer socket matrix --------------------------------------------
+
+#: Every socket fault the serving layer's framing interprets, at both
+#: I/O sites.  ``crash`` is deliberately absent: a process crash at a
+#: socket boundary is indistinguishable from ``disconnect`` to the
+#: peer, and engine-side crash recovery is the engine matrix's job.
+SOCKET_MATRIX = [
+    (SITE_CONN_READ, "error"),
+    (SITE_CONN_READ, "delay"),
+    (SITE_CONN_READ, "disconnect"),
+    (SITE_CONN_READ, "short-read"),
+    (SITE_CONN_WRITE, "error"),
+    (SITE_CONN_WRITE, "delay"),
+    (SITE_CONN_WRITE, "disconnect"),
+    (SITE_CONN_WRITE, "torn-write"),
+]
+
+
+class TestServerSocketMatrix:
+    """The committed-prefix contract at the wire: under every socket
+    fault mode, a retrying client's acknowledged writes exist, the
+    server survives (no unhandled resets, no leaked sessions), and the
+    next client is served normally."""
+
+    @pytest.mark.parametrize("site,mode", SOCKET_MATRIX)
+    def test_acked_writes_survive_socket_fault(self, site, mode):
+        from repro.resilience import ResilienceConfig, RetryPolicy
+        from repro.server import Client, ServerThread
+        from repro.server.app import ServerConfig
+
+        db = AeonG(
+            gc_interval_transactions=0,
+            resilience=ResilienceConfig(
+                max_concurrent_transactions=4, admission_timeout=0.2
+            ),
+        )
+        thread = ServerThread(db, ServerConfig(executor_workers=4))
+        host, port = thread.start()
+        acked = []
+        try:
+            client = Client(
+                host,
+                port,
+                policy=RetryPolicy(
+                    max_attempts=8, base_delay=0.005, max_delay=0.05
+                ),
+            )
+            client.connect()
+            FAILPOINTS.activate(site, mode, nth=2, times=2)
+            for i in range(6):
+                try:
+                    client.query(
+                        "CREATE (n:M {ext_id: $e})", {"e": f"m{i}"}
+                    )
+                    acked.append(f"m{i}")
+                except (Exception, ConnectionError):
+                    pass
+            fired = FAILPOINTS.stats(site).fired
+            FAILPOINTS.clear()
+            client.close()
+            assert fired >= 1, f"site {site} never fired"
+
+            # acked implies present — no acknowledged write lost
+            with Client(host, port) as check:
+                rows = check.query("MATCH (n:M) RETURN n.ext_id")
+            assert set(acked) <= {row["n.ext_id"] for row in rows}
+        finally:
+            FAILPOINTS.clear()
+            thread.stop()
+        # no zombie transactions, no leaked admission slots
+        metrics = db.metrics()
+        assert metrics["transactions"]["active"] == 0
+        assert metrics["resilience"]["admission"]["in_flight"] == 0
+        db.close()
+
+
 # -- coverage completeness --------------------------------------------------
 
 #: Sites whose only sensible exercise is the error mode: they fire on
@@ -397,6 +476,7 @@ def test_matrix_covers_every_registered_site():
     covered = (
         {site for site, _mode in ENGINE_MATRIX}
         | {site for site, _mode in KV_MATRIX}
+        | {site for site, _mode in SOCKET_MATRIX}
         | ERROR_ONLY_SITES
         | BESPOKE_SITES
     )
