@@ -1,0 +1,263 @@
+"""Replication chaos bench — SIGKILL the primary, lose nothing.
+
+The acceptance scenario for the replication layer, run end to end over
+real processes and real sockets:
+
+1. **Cluster bring-up** — start an ``aeong serve`` primary with
+   semi-synchronous replication and an ``aeong serve --replica-of``
+   replica; wait until the replica has registered and caught up.
+2. **Chaos** — drive a Bi-LDBC load at the primary and SIGKILL the
+   primary process mid-stream.  Because commits are semi-sync, every
+   acknowledged write has already been applied on the replica.
+3. **Failover** — the replica's lease on the dead primary expires and
+   it self-promotes.  The bench measures kill→promotion wall time and
+   asserts it stays within the lease timeout plus a scheduling margin.
+4. **Verification** — a retrying :class:`~repro.server.Client` still
+   pointed at the dead primary rotates onto the promoted node and
+   writes succeed; every acknowledged phase-1 insert is readable on
+   the promoted node (zero acked-write loss); a zombie ``repl_apply``
+   at the old epoch is rejected with ``REPL_FENCED``.
+
+``benchmarks/results/BENCH_replication.json`` records failover timing
+and both verdicts.  Set ``BENCH_SMOKE=1`` for the CI-sized run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServerError
+from repro.replication import pack_records
+from repro.resilience import RetryPolicy
+from repro.server import Client
+from repro.server.harness import run_load
+from repro.workloads import bildbc, ldbc
+from benchmarks.conftest import RESULTS_DIR, write_report
+
+pytestmark = pytest.mark.replication
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+OPS = 120 if SMOKE else 500
+CLIENTS = 4 if SMOKE else 8
+KILL_AFTER = 0.5 if SMOKE else 1.5
+#: Replica lease on the primary; promotion fires this long after the
+#: last successful fetch.
+LEASE = 0.8
+#: Generous end-to-end bound on kill -> promotion (lease expiry plus
+#: poll scheduling plus a loaded-CI margin).  The measured value goes
+#: into the artifact; the assertion only guards against a stall.
+FAILOVER_BOUND = LEASE + 10.0
+
+HARNESS_POLICY = RetryPolicy(max_attempts=8, base_delay=0.01, max_delay=0.2)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    dataset = ldbc.generate(persons=20, seed=42)
+    return dataset, bildbc.generate_operations(dataset, OPS, seed=7)
+
+
+def _payload() -> dict:
+    path = RESULTS_DIR / "BENCH_replication.json"
+    payload = json.loads(path.read_text()) if path.exists() else {}
+    payload["config"] = {
+        "smoke": SMOKE,
+        "ops": OPS,
+        "clients": CLIENTS,
+        "kill_after_s": KILL_AFTER,
+        "lease_timeout_s": LEASE,
+    }
+    return payload
+
+
+def _save(payload: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_replication.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def _spawn(argv: list[str]) -> tuple[subprocess.Popen, str, int]:
+    """Start an ``aeong serve`` subprocess and parse its bound address."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(
+        (RESULTS_DIR.parent.parent / "src").resolve()
+    ) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", *argv],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    match = None
+    while match is None:
+        line = proc.stdout.readline()
+        assert line, "server died before binding"
+        match = re.search(r"serving on ([\d.]+):(\d+)", line)
+    return proc, match.group(1), int(match.group(2))
+
+
+def _status(host: str, port: int) -> dict:
+    with Client(host, port) as client:
+        return client.request({"op": "repl_status"})
+
+
+def _wait_until(predicate, timeout: float, what: str):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.02)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def test_sigkill_failover_loses_no_acked_writes(stream, tmp_path):
+    dataset, ops = stream
+    primary_proc, primary_dir = None, tmp_path / "primary"
+    replica_proc, replica_dir = None, tmp_path / "replica"
+    try:
+        primary_proc, phost, pport = _spawn(
+            [str(primary_dir), "--port", "0", "--sync-replication"]
+        )
+        replica_proc, rhost, rport = _spawn(
+            [
+                str(replica_dir), "--port", "0",
+                "--replica-of", f"{phost}:{pport}",
+                "--replica-id", "bench-replica",
+                "--lease-timeout", str(LEASE),
+                "--poll-interval", "0.05",
+            ]
+        )
+
+        # Replica registered before any write: from here on, semi-sync
+        # commits ack only after the replica has applied them.
+        _wait_until(
+            lambda: _status(phost, pport)["replication"]["replicas"],
+            timeout=10.0, what="replica registration",
+        )
+
+        seed = run_load(
+            phost, pport, dataset.ops, clients=CLIENTS,
+            policy=HARNESS_POLICY,
+        )
+        assert seed["failed"] == 0
+        _wait_until(
+            lambda: _status(rhost, rport)["replication"]["lag"] == 0,
+            timeout=10.0, what="replica catch-up after seeding",
+        )
+        assert _status(rhost, rport)["replication"]["role"] == "replica"
+
+        # -- chaos: SIGKILL the primary mid-load --------------------------
+        kill_at = []
+
+        def _kill():
+            kill_at.append(time.monotonic())
+            os.kill(primary_proc.pid, signal.SIGKILL)
+
+        killer = threading.Timer(KILL_AFTER, _kill)
+        killer.start()
+        record = run_load(
+            phost, pport, ops.ops, clients=CLIENTS, policy=HARNESS_POLICY,
+        )
+        # If the load outran the timer, the kill still lands — the
+        # failover and zero-loss checks hold either way.
+        _wait_until(lambda: kill_at, timeout=KILL_AFTER + 10,
+                    what="the scheduled kill")
+        primary_proc.wait(timeout=10)
+        killed_mid_load = record["failed"] > 0 or record["disconnects"] > 0
+        acked = record["acked_inserts"]
+        assert acked, "no write was acknowledged before the kill"
+
+        # -- failover: the replica's lease expires and it promotes --------
+        promoted_status = _wait_until(
+            lambda: (
+                lambda s: s if s["replication"]["role"] == "primary" else None
+            )(_status(rhost, rport)),
+            timeout=FAILOVER_BOUND + 5.0, what="replica self-promotion",
+        )
+        failover_seconds = time.monotonic() - kill_at[0]
+        assert failover_seconds < FAILOVER_BOUND, (
+            f"failover took {failover_seconds:.2f}s "
+            f"(lease {LEASE}s, bound {FAILOVER_BOUND}s)"
+        )
+        assert promoted_status["replication"]["epoch"] == 2
+
+        # -- verification on the promoted node ----------------------------
+        # A client still aimed at the dead primary rotates onto the
+        # promoted replica and its writes succeed.
+        phase2 = [f"bench-after-{i}" for i in range(10)]
+        with Client(
+            phost, pport, endpoints=[(phost, pport), (rhost, rport)],
+            policy=HARNESS_POLICY,
+        ) as client:
+            for ext_id in phase2:
+                client.query(
+                    "CREATE (n:Person {ext_id: $e})", {"e": ext_id}
+                )
+            stored = {
+                row["n.ext_id"]
+                for row in client.query("MATCH (n) RETURN n.ext_id")
+            }
+            failovers = client.stats["failovers"]
+
+            # Zombie fencing: the dead primary's epoch-1 stream is
+            # rejected, not applied.
+            watermark = client.request(
+                {"op": "repl_status"}
+            )["replication"]["watermark"]
+            stale = pack_records([(watermark + 1, [])])
+            with pytest.raises(ServerError) as excinfo:
+                client.request(
+                    {"op": "repl_apply", "epoch": 1, "records": stale}
+                )
+            assert excinfo.value.code == "REPL_FENCED"
+            assert not excinfo.value.retryable
+
+        lost = [e for e in acked if e not in stored]
+        assert not lost, f"acked inserts lost across failover: {lost}"
+        assert all(e in stored for e in phase2)
+    finally:
+        for proc in (primary_proc, replica_proc):
+            if proc is not None:
+                if proc.poll() is None:
+                    proc.terminate()
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    proc.kill()
+                    proc.wait()
+
+    payload = _payload()
+    payload["failover"] = {
+        "acked_inserts": len(acked),
+        "lost": 0,
+        "phase2_writes": len(phase2),
+        "failover_seconds": round(failover_seconds, 3),
+        "failover_bound_s": FAILOVER_BOUND,
+        "zombie_fenced": True,
+        "killed_mid_load": killed_mid_load,
+        "client_failovers": failovers,
+        "served_before_kill": record["served"],
+        "failed_after_kill": record["failed"],
+        "disconnects": record["disconnects"],
+    }
+    _save(payload)
+
+    lines = [
+        "Replication chaos: SIGKILL primary mid-load, replica promotes",
+        f"  acked before kill     {len(acked):>6}",
+        "  lost after failover        0",
+        f"  failover (kill->promote) {failover_seconds:>6.2f}s"
+        f"  (lease {LEASE}s)",
+        f"  phase-2 writes on new primary {len(phase2):>4}",
+        "  zombie epoch-1 apply     REPL_FENCED",
+    ]
+    print("\n" + write_report("replication_failover", lines))

@@ -24,7 +24,10 @@ Subcommands (``python -m repro <sub> ...`` / ``aeong <sub> ...``):
 ``verify DIR`` runs the offline integrity check, ``metrics DIR``
 exports a saved database's metrics (Prometheus text, ``--json`` for
 the registry dict), ``serve DIR`` starts the TCP serving layer over a
-durable engine (see ``docs/SERVING.md``).
+durable engine (see ``docs/SERVING.md``) — as a replica of another
+node with ``--replica-of HOST:PORT``, semi-sync with
+``--sync-replication``, and with a Prometheus endpoint via
+``--metrics-port N`` (see ``docs/REPLICATION.md``).
 """
 
 from __future__ import annotations
@@ -364,6 +367,42 @@ def _serve_main(argv: list[str]) -> int:
         "--drain-grace", type=float, default=5.0,
         help="seconds a drain waits for in-flight sessions",
     )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="also serve GET /metrics (Prometheus text) over HTTP on "
+        "this port (0 picks a free port and prints it)",
+    )
+    replication = parser.add_argument_group(
+        "replication (docs/REPLICATION.md)"
+    )
+    replication.add_argument(
+        "--replica-of", metavar="HOST:PORT", default=None,
+        help="start as a replica streaming the WAL of the primary at "
+        "HOST:PORT; serves reads, rejects writes with NOT_PRIMARY",
+    )
+    replication.add_argument(
+        "--replica-id", default="replica-1",
+        help="this replica's identity on the primary (default %(default)s)",
+    )
+    replication.add_argument(
+        "--lease-timeout", type=float, default=2.0, metavar="SECONDS",
+        help="replica promotes itself after this long without a "
+        "successful fetch (default %(default)s)",
+    )
+    replication.add_argument(
+        "--poll-interval", type=float, default=0.2, metavar="SECONDS",
+        help="replica long-poll interval against the primary "
+        "(default %(default)s)",
+    )
+    replication.add_argument(
+        "--no-auto-promote", action="store_true",
+        help="on lease expiry, keep retrying instead of promoting",
+    )
+    replication.add_argument(
+        "--sync-replication", action="store_true",
+        help="primary holds each commit ack until a replica applied it "
+        "(semi-synchronous; no-op while no replica is registered)",
+    )
     options = parser.parse_args(argv)
     from repro.server.app import ServerConfig, serve
 
@@ -376,6 +415,13 @@ def _serve_main(argv: list[str]) -> int:
                 max_connections=options.max_connections,
                 drain_grace=options.drain_grace,
             ),
+            replica_of=options.replica_of,
+            replica_id=options.replica_id,
+            lease_timeout=options.lease_timeout,
+            poll_interval=options.poll_interval,
+            auto_promote=not options.no_auto_promote,
+            sync_replication=options.sync_replication,
+            metrics_port=options.metrics_port,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -172,8 +172,51 @@ class EngineWal:
         """Crash-safely drop a damaged tail found by the last scan."""
         return self._wal.repair()
 
+    def records_with_extents(
+        self, strict: bool = False
+    ) -> list[tuple[int, list[tuple], int, int]]:
+        """``[(commit_ts, ops, start_byte, end_byte), ...]`` — the log
+        with each record's byte extent, for fence-aligned truncation
+        and replication catch-up scans."""
+        records, scan = self.scan(strict=strict)
+        return [
+            (ts, ops, start, end)
+            for (ts, ops), (start, end) in zip(records, scan.extents)
+        ]
+
+    def records_from(self, from_ts: int) -> list[tuple[int, list[tuple]]]:
+        """Records with ``commit_ts >= from_ts``, oldest first — the
+        replication stream's catch-up path for ranges that have left
+        the primary's in-memory ring (e.g. after a primary restart)."""
+        return [
+            (ts, ops)
+            for ts, ops, _start, _end in self.records_with_extents()
+            if ts >= from_ts
+        ]
+
     def truncate(self) -> None:
         self._wal.truncate()
+
+    def truncate_keep_from(self, retain_ts: int) -> tuple[int, int]:
+        """Drop every record with ``commit_ts < retain_ts``; keep the rest.
+
+        The replication-fenced half of checkpoint truncation: a plain
+        :meth:`truncate` would discard records a registered replica has
+        not acknowledged yet.  Returns ``(records_dropped,
+        highest_dropped_ts)`` — the latter is the new truncation fence.
+        """
+        drop_bytes = 0
+        dropped = 0
+        fence = 0
+        for ts, _ops, _start, end in self.records_with_extents():
+            if ts >= retain_ts:
+                break
+            drop_bytes = end
+            dropped += 1
+            fence = max(fence, ts)
+        if drop_bytes:
+            self._wal.drop_prefix(drop_bytes)
+        return dropped, fence
 
     def close(self) -> None:
         self._wal.close()
@@ -309,6 +352,16 @@ def open_engine(directory, strict_recovery: bool = False, **engine_kwargs):
     )
     repaired = wal.repair()
     engine.attach_wal(directory, wal)
+    if loaded:
+        # A checkpoint implies the WAL has been truncated at some
+        # point; replicas fetching below the oldest surviving record
+        # must resync.  (A replication-fenced checkpoint keeps records
+        # below the checkpoint fence, so key off the log itself.)
+        remaining, _scan = wal.scan()
+        oldest = remaining[0][0] if remaining else fence_ts
+        engine._wal_truncation_fence = max(
+            engine._wal_truncation_fence, oldest - 1
+        )
     engine.last_recovery = RecoveryReport(
         checkpoint_loaded=loaded,
         checkpoint_fallback=used_fallback,

@@ -60,6 +60,7 @@ from repro.kvstore import KVStore
 from repro.mvcc.gc import GarbageCollector
 from repro.mvcc.transaction import Transaction
 from repro.observability import Observability, ObservabilityConfig
+from repro.replication import ReplicationConfig, ReplicationState
 from repro.resilience import ResilienceConfig, ResilienceController, RetryPolicy
 
 
@@ -130,6 +131,7 @@ class AeonG:
         durability_mode: str = "flush",
         resilience: Optional[ResilienceConfig] = None,
         observability: Optional[ObservabilityConfig] = None,
+        replication: Optional[ReplicationConfig] = None,
     ) -> None:
         from repro.faults import StorageIO
 
@@ -191,6 +193,13 @@ class AeonG:
         self._durability_dir = None
         #: RecoveryReport from :meth:`open`, None for a fresh engine.
         self.last_recovery = None
+        #: Replication role/epoch/fence/peer state (every engine has
+        #: one; a standalone node is a primary with no replicas).
+        self.replication = ReplicationState(replication)
+        self.replication.engine = self
+        #: Highest commit timestamp known to have been truncated out of
+        #: the WAL — a replica fetching at or below this must resync.
+        self._wal_truncation_fence = 0
         # Every metrics() section flows through the registry, so the
         # Prometheus/JSON exporters cover the whole engine.
         self.observability.registry.register_provider(self.metrics)
@@ -233,7 +242,14 @@ class AeonG:
             with self._close_lock:
                 if self._closed:
                     raise StorageError("engine is closed")
-                txn = self.manager.begin()
+                if self.replication.is_replica:
+                    # Replica snapshots must not consume timestamps:
+                    # the oracle tracks the primary's commits only, and
+                    # a consumed tick would collide with the next
+                    # replicated record's forced commit timestamp.
+                    txn = self.manager.begin_readonly()
+                else:
+                    txn = self.manager.begin()
         except BaseException:
             if gate is not None:
                 gate.release()
@@ -264,6 +280,31 @@ class AeonG:
                 commit_ts = self.manager.commit(txn)
                 if self._wal is not None and txn.journal:
                     self._wal.append(commit_ts, txn.journal)
+                if txn.journal:
+                    self.replication.note_commit(commit_ts, list(txn.journal))
+        repl = self.replication
+        if (
+            txn.journal
+            and repl.role == "primary"
+            and repl.config.sync_commit
+            and repl.replicas
+        ):
+            # Semi-synchronous replication: hold the acknowledgement
+            # until a replica has applied this commit.  On timeout the
+            # transaction IS durably committed locally — the caller
+            # must treat the outcome as unconfirmed, not failed, which
+            # is why ReplicationTimeout is never retryable.
+            with self.observability.tracer.span("repl.sync_wait"):
+                if not repl.wait_replicated(
+                    commit_ts, repl.config.sync_timeout
+                ):
+                    from repro.errors import ReplicationTimeout
+
+                    raise ReplicationTimeout(
+                        f"commit {commit_ts} is durable on the primary but "
+                        f"no replica acknowledged applying it within "
+                        f"{repl.config.sync_timeout}s"
+                    )
         with self._gc_lock:
             self._commits_since_gc += 1
             due = (
@@ -601,8 +642,7 @@ class AeonG:
             properties[VT_START_PROPERTY] = valid_time[0]
             properties[VT_END_PROPERTY] = valid_time[1]
         gid = self.storage.create_vertex(txn, labels, properties)
-        if self._wal is not None:
-            txn.journal.append(("cv", gid, list(labels), properties))
+        txn.journal.append(("cv", gid, list(labels), properties))
         return gid
 
     def create_edge(
@@ -628,47 +668,42 @@ class AeonG:
         gid = self.storage.create_edge(
             txn, from_gid, to_gid, edge_type, properties
         )
-        if self._wal is not None:
-            txn.journal.append(
-                ("ce", gid, from_gid, to_gid, edge_type, properties)
-            )
+        txn.journal.append(
+            ("ce", gid, from_gid, to_gid, edge_type, properties)
+        )
         return gid
 
     def set_vertex_property(self, txn: Transaction, gid: int, name: str, value: Any) -> None:
         """Set (``value=None`` removes) a vertex property."""
         check_property_writable(name)
         self.storage.set_vertex_property(txn, gid, name, value)
-        if self._wal is not None:
-            txn.journal.append(("svp", gid, name, value))
+        txn.journal.append(("svp", gid, name, value))
 
     def set_edge_property(self, txn: Transaction, gid: int, name: str, value: Any) -> None:
         """Set (``value=None`` removes) an edge property."""
         check_property_writable(name)
         self.storage.set_edge_property(txn, gid, name, value)
-        if self._wal is not None:
-            txn.journal.append(("sep", gid, name, value))
+        txn.journal.append(("sep", gid, name, value))
 
     def add_label(self, txn: Transaction, gid: int, label: str) -> bool:
         added = self.storage.add_label(txn, gid, label)
-        if added and self._wal is not None:
+        if added:
             txn.journal.append(("al", gid, label))
         return added
 
     def remove_label(self, txn: Transaction, gid: int, label: str) -> bool:
         removed = self.storage.remove_label(txn, gid, label)
-        if removed and self._wal is not None:
+        if removed:
             txn.journal.append(("rl", gid, label))
         return removed
 
     def delete_vertex(self, txn: Transaction, gid: int, detach: bool = True) -> None:
         self.storage.delete_vertex(txn, gid, detach=detach)
-        if self._wal is not None:
-            txn.journal.append(("dv", gid, detach))
+        txn.journal.append(("dv", gid, detach))
 
     def delete_edge(self, txn: Transaction, gid: int) -> None:
         self.storage.delete_edge(txn, gid)
-        if self._wal is not None:
-            txn.journal.append(("de", gid))
+        txn.journal.append(("de", gid))
 
     def set_valid_time(
         self,
@@ -684,9 +719,8 @@ class AeonG:
         if object_kind == "vertex":
             self.storage.set_vertex_property(txn, gid, VT_START_PROPERTY, vt_start)
             self.storage.set_vertex_property(txn, gid, VT_END_PROPERTY, vt_end)
-            if self._wal is not None:
-                txn.journal.append(("svp", gid, VT_START_PROPERTY, vt_start))
-                txn.journal.append(("svp", gid, VT_END_PROPERTY, vt_end))
+            txn.journal.append(("svp", gid, VT_START_PROPERTY, vt_start))
+            txn.journal.append(("svp", gid, VT_END_PROPERTY, vt_end))
         elif object_kind == "edge":
             if self.enforce_vt_constraints:
                 edge = self.storage.get_edge(txn, gid)
@@ -696,9 +730,8 @@ class AeonG:
                     )
             self.storage.set_edge_property(txn, gid, VT_START_PROPERTY, vt_start)
             self.storage.set_edge_property(txn, gid, VT_END_PROPERTY, vt_end)
-            if self._wal is not None:
-                txn.journal.append(("sep", gid, VT_START_PROPERTY, vt_start))
-                txn.journal.append(("sep", gid, VT_END_PROPERTY, vt_end))
+            txn.journal.append(("sep", gid, VT_START_PROPERTY, vt_start))
+            txn.journal.append(("sep", gid, VT_END_PROPERTY, vt_end))
         else:
             raise ValueError(f"unknown object kind {object_kind!r}")
 
@@ -926,6 +959,7 @@ class AeonG:
                 "records": (wal.records_appended if wal is not None else 0),
                 "durability_mode": self.durability_mode,
             },
+            "replication": self.replication.metrics(),
             "recovery": (
                 self.last_recovery.as_dict()
                 if self.last_recovery is not None
@@ -977,6 +1011,59 @@ class AeonG:
         self._durability_dir = Path(directory)
         self._wal = wal
 
+    # -- replication (apply path + WAL shipping support) --------------------
+
+    def apply_replicated(self, commit_ts: int, ops: list[tuple]) -> bool:
+        """Apply one shipped WAL record at its original commit timestamp.
+
+        The replica's write path: a replay transaction
+        (:meth:`TransactionManager.begin_replay`) re-executes the
+        primary's logical operations and commits at the *forced*
+        ``commit_ts``, so the replica's transaction-time history is
+        bit-for-bit the primary's.  **Idempotent**: a record at or
+        below the applied watermark (``oracle.peek() - 1``) is a no-op
+        returning False — re-shipping an overlapping range (resumed
+        stream, checkpoint-fence overlap) cannot double-apply.  The
+        record is also journaled to this node's own WAL, so a replica
+        restart recovers its applied prefix locally.
+        """
+        with self._close_lock:
+            if self._closed:
+                raise StorageError("engine is closed")
+            if commit_ts < self.manager.oracle.peek():
+                return False
+            with self.observability.tracer.span("repl.apply"):
+                txn = self.manager.begin_replay()
+                try:
+                    from repro.core.durability import _apply_op
+
+                    for op in ops:
+                        _apply_op(self, txn, op)
+                except BaseException:
+                    if txn.is_active:
+                        self.manager.abort(txn)
+                    raise
+                txn.journal = [tuple(op) for op in ops]
+                self.manager.commit(txn, commit_ts=commit_ts)
+                if self._wal is not None and txn.journal:
+                    self._wal.append(commit_ts, txn.journal)
+                self.replication.note_commit(commit_ts, list(txn.journal))
+        self.replication.note_applied()
+        return True
+
+    def wal_records_from(self, from_ts: int):
+        """WAL records with ``commit_ts >= from_ts`` for the shipping
+        stream's catch-up path; ``None`` when no WAL is attached."""
+        wal = self._wal
+        if wal is None:
+            return None
+        return wal.records_from(from_ts)
+
+    def wal_truncation_fence(self) -> int:
+        """Highest commit timestamp truncated out of the WAL (0 when
+        every record ever journaled is still scannable)."""
+        return self._wal_truncation_fence
+
     def checkpoint(self) -> None:
         """Snapshot the engine and truncate the WAL (bounds recovery).
 
@@ -1021,7 +1108,21 @@ class AeonG:
         FAILPOINTS.check("checkpoint.cleanup")
         if old.exists():
             shutil.rmtree(old)
-        self._wal.truncate()
+        # WAL truncation is fenced by replication: records a registered
+        # replica has not acknowledged must survive the checkpoint, or
+        # the replica could never catch up without a full resync.
+        retain_ts = self.replication.wal_retain_ts()
+        if retain_ts is None:
+            self._wal_truncation_fence = max(
+                self._wal_truncation_fence, self.manager.oracle.peek() - 1
+            )
+            self._wal.truncate()
+        else:
+            _dropped, fence = self._wal.truncate_keep_from(retain_ts)
+            if fence:
+                self._wal_truncation_fence = max(
+                    self._wal_truncation_fence, fence
+                )
 
     @classmethod
     def open(cls, directory, **engine_kwargs) -> "AeonG":

@@ -144,6 +144,71 @@ class ProtocolError(ReproError):
     """
 
 
+class ReplicationError(ReproError):
+    """Base class for primary/replica replication failures
+    (:mod:`repro.replication`; documented in ``docs/REPLICATION.md``)."""
+
+
+class NotPrimaryError(ReplicationError):
+    """A write was routed to a replica.
+
+    Replicas apply the primary's WAL stream and serve snapshot reads;
+    mutations must go to the primary.  Carries ``primary_address``
+    (``"host:port"`` or ``None``) so a failing-over client can
+    re-resolve without a directory service.  Retryable on the wire:
+    the same statement succeeds once the client reaches the primary
+    (or this node is promoted).
+    """
+
+    def __init__(self, message: str, primary_address=None) -> None:
+        super().__init__(message)
+        self.primary_address = primary_address
+
+
+class ReplicationFencedError(ReplicationError):
+    """A replication message from a stale epoch was rejected.
+
+    After a failover promotion the cluster epoch advances and the
+    promoted node's fencing token (its last applied commit timestamp)
+    seals history below it.  A zombie primary — one that kept serving
+    after its lease expired — ships records under the old epoch; they
+    are rejected with this error instead of silently forking history.
+    """
+
+
+class ReplicationDivergedError(ReplicationError):
+    """A replica's applied watermark is ahead of its primary's.
+
+    The replica holds commits the primary never shipped — the
+    signature of a demoted primary rejoining with unacknowledged WAL
+    records.  Replication stops; the diverged node must be resynced
+    from a fresh copy (see ``docs/REPLICATION.md``).
+    """
+
+
+class ReplicationResyncRequired(ReplicationError):
+    """The primary's WAL no longer contains the records a replica needs.
+
+    Checkpoint truncation is fenced for *registered* replicas, but a
+    replica attaching below the primary's truncation fence (e.g. a
+    brand-new replica joining after the primary checkpointed) must
+    bootstrap from a copy of the primary's data directory instead of
+    the WAL stream.
+    """
+
+
+class ReplicationTimeout(ReplicationError):
+    """Synchronous replication could not confirm the commit in time.
+
+    The transaction **is** durably committed on the primary, but no
+    replica acknowledged applying it within ``sync_timeout``.  The
+    outcome is not lost — the record ships when a replica catches up —
+    but callers requiring the synchronous guarantee must treat the
+    write as unconfirmed.  Deliberately *not* retryable on the wire:
+    resending the statement would double-apply it.
+    """
+
+
 class ServerError(ReproError):
     """A structured error response received from an AeonG server.
 

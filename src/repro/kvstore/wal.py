@@ -91,6 +91,10 @@ class WalScan:
     """
 
     batches: list = field(default_factory=list)
+    #: byte extent ``(start, end)`` of each intact record, in order —
+    #: lets callers map a record index to a truncation boundary (the
+    #: replication fence cuts the log at an extent edge)
+    extents: list = field(default_factory=list)
     records: int = 0
     bytes_scanned: int = 0
     valid_bytes: int = 0  # offset just past the last intact record
@@ -205,6 +209,37 @@ class WriteAheadLog:
         self._file = open(self._path, "ab")
         self._synced = self._file.tell()
 
+    def drop_prefix(self, drop_bytes: int) -> None:
+        """Crash-safely discard the log's first ``drop_bytes``.
+
+        The complement of :meth:`truncate_to`: keeps the *suffix*.
+        Used by checkpoint truncation under replication, where records
+        past the slowest replica's acknowledged watermark must survive
+        even though the checkpoint has absorbed everything.  Same
+        write-new + atomic-rename discipline, same failpoint site.
+        """
+        if drop_bytes <= 0:
+            return
+        if self._path is None:
+            data = self._file.getvalue()[drop_bytes:]
+            self._io.registry.check(self._site_truncate)
+            self._file = io.BytesIO()
+            self._file.write(data)
+            self._synced = len(data)
+            return
+        self._file.flush()
+        suffix = self._path.read_bytes()[drop_bytes:]
+        tmp = self._tmp_path()
+        with open(tmp, "wb") as handle:
+            handle.write(suffix)
+            handle.flush()
+            if self._io.fsync_enabled:
+                os.fsync(handle.fileno())
+        self._io.rename(tmp, self._path, self._site_truncate)
+        self._file.close()
+        self._file = open(self._path, "ab")
+        self._synced = self._file.tell()
+
     # -- recovery -------------------------------------------------------
 
     def scan(self, strict: bool = False) -> WalScan:
@@ -254,6 +289,7 @@ class WriteAheadLog:
                 scan.corruption = True
                 break
             scan.batches.append(batch)
+            scan.extents.append((pos, end))
             scan.records += 1
             pos = end
             scan.valid_bytes = pos

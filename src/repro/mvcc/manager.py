@@ -75,6 +75,25 @@ class TransactionManager:
             self._active[txn.id] = txn
             return txn
 
+    def begin_readonly(self) -> Transaction:
+        """Start a read-only transaction without consuming a timestamp.
+
+        Replica snapshot reads use this: a replica's oracle is advanced
+        only by replicated commit timestamps, so a read that consumed
+        :meth:`TimestampOracle.next` would make the next record's
+        forced commit timestamp "in the past" (the same overrun
+        :meth:`begin_replay` exists to avoid).  The snapshot is the
+        applied watermark — everything replicated so far — and
+        :meth:`~repro.mvcc.transaction.Transaction.record_delta`
+        rejects writes.
+        """
+        with self._lock:
+            txn = Transaction(self._next_txn_id, self.oracle.peek() - 1)
+            txn.read_only = True
+            self._next_txn_id += 1
+            self._active[txn.id] = txn
+            return txn
+
     def commit(self, txn: Transaction, commit_ts: Optional[int] = None) -> int:
         """Commit ``txn``; returns its commit timestamp.
 
@@ -90,6 +109,14 @@ class TransactionManager:
         """
         txn.check_active()
         with self._lock:
+            if commit_ts is None and txn.read_only:
+                # Read-only commits must not consume a timestamp: on a
+                # replica the oracle tracks the primary's commits only.
+                commit_ts = self.oracle.peek() - 1
+                txn.commit_info.mark_committed(commit_ts)
+                del self._active[txn.id]
+                txn.run_commit_hooks(commit_ts)
+                return commit_ts
             if commit_ts is None:
                 commit_ts = self.oracle.next()
             else:

@@ -61,9 +61,13 @@ class Transaction:
         #: transaction, so the owner's next operation raises
         #: :class:`TransactionTimeout` instead of a generic state error
         self.expired = False
+        #: read-only transactions (replica snapshot reads) never write
+        #: and never consume a commit timestamp; see
+        #: :meth:`TransactionManager.begin_readonly`
+        self.read_only = False
         self.undo_buffer: list[tuple[Any, Delta]] = []
-        #: logical operations for the engine's write-ahead log (only
-        #: populated when the engine runs with durability enabled)
+        #: logical operations of this transaction — the record body for
+        #: the engine's write-ahead log and the replication stream
         self.journal: list[tuple] = []
         #: callbacks run after a successful commit (index maintenance)
         self._commit_hooks: list[Callable[[int], None]] = []
@@ -100,6 +104,11 @@ class Transaction:
     def record_delta(self, record: Any, delta: Delta) -> None:
         """Register a freshly created delta in the undo buffer."""
         self.check_active()
+        if self.read_only:
+            raise TransactionStateError(
+                f"transaction {self.id} is read-only (replica snapshot "
+                "reads cannot write; route mutations to the primary)"
+            )
         self.undo_buffer.append((record, delta))
 
     def on_commit(self, hook: Callable[[int], None]) -> None:

@@ -40,6 +40,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 from repro.errors import (
     DegradedModeError,
+    NotPrimaryError,
     OverloadError,
     ProtocolError,
     ReproError,
@@ -76,6 +77,12 @@ class ServerConfig:
     #: ``retry_after`` hint attached to connection-limit rejections and
     #: drain shedding.
     shed_retry_after: float = 0.1
+    #: Serve ``GET /metrics`` (Prometheus text exposition) over HTTP on
+    #: this port (0 = ephemeral; read back from
+    #: ``server.metrics_address``).  ``None`` disables the endpoint.
+    metrics_port: Optional[int] = None
+    #: Longest long-poll window a ``repl_fetch`` may request.
+    repl_max_wait: float = 5.0
 
     def __post_init__(self) -> None:
         if self.max_connections < 1:
@@ -124,10 +131,26 @@ class AeonGServer:
         self.engine = engine
         self.config = config or ServerConfig()
         self.address: Optional[tuple[str, int]] = None
+        #: Bound ``(host, port)`` of the HTTP metrics endpoint, when
+        #: ``config.metrics_port`` is set.
+        self.metrics_address: Optional[tuple[str, int]] = None
+        #: ``"host:port"`` of this node's primary, attached to
+        #: ``NOT_PRIMARY`` rejections so clients can fail over without
+        #: a directory service (set by :func:`serve` for replicas).
+        self.primary_hint: Optional[str] = None
         self._server: Optional[asyncio.base_events.Server] = None
+        self._metrics_server: Optional[asyncio.base_events.Server] = None
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.executor_workers,
             thread_name_prefix="aeong-serve",
+        )
+        # Replication stream ops get their own tiny pool: under
+        # semi-sync replication every committing query blocks its
+        # executor worker in wait_replicated(), and the repl_fetch that
+        # delivers the releasing ack must never queue behind them
+        # (saturated query pool -> ack starvation -> REPL_TIMEOUT).
+        self._repl_executor = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="aeong-repl"
         )
         self._sessions = 0
         self._conn_tasks: set[asyncio.Task] = set()
@@ -146,6 +169,10 @@ class AeonGServer:
             "protocol_errors": 0,
             "io_faults": 0,
             "bytes_out": 0,
+            "repl_fetches": 0,
+            "repl_applies": 0,
+            "not_primary_rejections": 0,
+            "metrics_scrapes": 0,
         }
         engine.observability.registry.register_provider(self._provide_metrics)
 
@@ -158,6 +185,14 @@ class AeonGServer:
         )
         sock = self._server.sockets[0]
         self.address = sock.getsockname()[:2]
+        if self.config.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics_http,
+                self.config.host,
+                self.config.metrics_port,
+            )
+            msock = self._metrics_server.sockets[0]
+            self.metrics_address = msock.getsockname()[:2]
         return self.address
 
     async def shutdown(self) -> None:
@@ -167,6 +202,9 @@ class AeonGServer:
         if self._stopped:
             return
         self._draining = True
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -181,6 +219,7 @@ class AeonGServer:
             await asyncio.gather(*pending, return_exceptions=True)
         self._stopped = True
         self._executor.shutdown(wait=True)
+        self._repl_executor.shutdown(wait=True)
 
     @property
     def draining(self) -> bool:
@@ -195,9 +234,59 @@ class AeonGServer:
     def _provide_metrics(self) -> dict[str, Any]:
         return {"server": self.metrics()}
 
+    async def _handle_metrics_http(self, reader, writer) -> None:
+        """Minimal HTTP/1.1 handler for Prometheus scrapes.
+
+        ``GET /metrics`` returns the registry's text exposition; any
+        other path is 404.  One request per connection (``Connection:
+        close``) — exactly what a scraper needs, nothing a framework
+        would add.
+        """
+        try:
+            request_line = await reader.readline()
+            while True:  # drain headers
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            method = parts[0] if parts else ""
+            path = parts[1].split("?", 1)[0] if len(parts) > 1 else "/"
+            if method in ("GET", "HEAD") and path == "/metrics":
+                text = await self._run(
+                    "server.metrics_http",
+                    self.engine.observability.registry.prometheus_text,
+                )
+                body = text.encode()
+                status = b"200 OK"
+                ctype = b"text/plain; version=0.0.4; charset=utf-8"
+                self.counters["metrics_scrapes"] += 1
+            else:
+                body = b"not found; try GET /metrics\n"
+                status = b"404 Not Found"
+                ctype = b"text/plain; charset=utf-8"
+            if method == "HEAD":
+                payload = b""
+            else:
+                payload = body
+            writer.write(
+                b"HTTP/1.1 " + status
+                + b"\r\nContent-Type: " + ctype
+                + b"\r\nContent-Length: " + str(len(body)).encode()
+                + b"\r\nConnection: close\r\n\r\n"
+                + payload
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - transport races
+                pass
+
     # -- engine plumbing ---------------------------------------------------
 
-    async def _run(self, span: str, fn, *args, **kwargs):
+    async def _run(self, span: str, fn, *args, executor=None, **kwargs):
         """Run a blocking engine call on the pool, inside a tracer span.
 
         The span must open and close on the executor thread: the tracer
@@ -212,7 +301,8 @@ class AeonGServer:
 
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
-            self._executor, functools.partial(work)
+            executor if executor is not None else self._executor,
+            functools.partial(work),
         )
 
     def _retry_hint(self, exc: BaseException) -> Optional[float]:
@@ -333,6 +423,12 @@ class AeonGServer:
             response = await self._dispatch(session, request)
             if op == "goodbye":
                 goodbye = True
+        except ConnectionError:
+            # An injected stream disconnect (repl.stream.write) or a
+            # peer reset surfaced by a handler: tear the connection
+            # down instead of answering on a dead/poisoned stream.
+            self.counters["io_faults"] += 1
+            return True
         except Exception as exc:
             response = self._failure(session, request_id, exc)
         try:
@@ -450,6 +546,17 @@ class AeonGServer:
             return await self._op_commit(session, request_id)
         if op == "abort":
             return await self._op_abort(session, request_id)
+
+        if op == "repl_register":
+            return await self._op_repl_register(request_id, request)
+        if op == "repl_fetch":
+            return await self._op_repl_fetch(request_id, request)
+        if op == "repl_apply":
+            return await self._op_repl_apply(request_id, request)
+        if op == "repl_status":
+            return self._op_repl_status(request_id)
+        if op == "promote":
+            return self._op_promote(request_id)
         raise ProtocolError(f"unknown op {op!r}")
 
     # -- status ops --------------------------------------------------------
@@ -486,6 +593,110 @@ class AeonGServer:
             "saturated": saturated,
         }
 
+    # -- replication ops ---------------------------------------------------
+
+    @staticmethod
+    def _repl_int(request, field, default=None) -> int:
+        value = request.get(field, default)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ProtocolError(
+                f"{field} must be a non-negative integer, got {value!r}"
+            )
+        return value
+
+    def _require_primary_role(self, op: str) -> None:
+        state = self.engine.replication
+        if state.is_replica:
+            self.counters["not_primary_rejections"] += 1
+            raise NotPrimaryError(
+                f"op {op!r} must go to the primary; this node is a replica",
+                primary_address=self.primary_hint,
+            )
+
+    async def _op_repl_register(self, request_id, request) -> dict[str, Any]:
+        self._require_primary_role("repl_register")
+        replica_id = request.get("replica_id")
+        if not isinstance(replica_id, str) or not replica_id:
+            raise ProtocolError("repl_register requires a 'replica_id'")
+        watermark = self._repl_int(request, "watermark", 0)
+        epoch = self._repl_int(request, "epoch", 1)
+        state = self.engine.replication
+        state.register_replica(replica_id, watermark, epoch)
+        self.counters["requests_served"] += 1
+        return {
+            "ok": True,
+            "id": request_id,
+            "role": state.role,
+            "epoch": state.epoch,
+            "fence_ts": state.fence_ts,
+            "watermark": state.watermark(),
+        }
+
+    async def _op_repl_fetch(self, request_id, request) -> dict[str, Any]:
+        from repro.replication import build_fetch_response
+
+        self._require_primary_role("repl_fetch")
+        replica_id = request.get("replica_id")
+        if not isinstance(replica_id, str) or not replica_id:
+            raise ProtocolError("repl_fetch requires a 'replica_id'")
+        from_ts = self._repl_int(request, "from_ts", 1)
+        ack = self._repl_int(request, "ack", 0)
+        epoch = self._repl_int(request, "epoch", 1)
+        wait = request.get("wait", 0)
+        if not isinstance(wait, (int, float)) or wait < 0:
+            raise ProtocolError("wait must be a non-negative number")
+        limit = self._repl_int(request, "limit", 512)
+        response = await self._run(
+            "repl.ship",
+            build_fetch_response,
+            self.engine,
+            replica_id,
+            from_ts,
+            ack,
+            epoch,
+            min(float(wait), self.config.repl_max_wait),
+            max(1, min(limit, 4096)),
+            executor=self._repl_executor,
+        )
+        self.counters["repl_fetches"] += 1
+        self.counters["requests_served"] += 1
+        return {"ok": True, "id": request_id, **response}
+
+    async def _op_repl_apply(self, request_id, request) -> dict[str, Any]:
+        from repro.replication import apply_pushed_records
+
+        epoch = self._repl_int(request, "epoch", 1)
+        records = request.get("records")
+        if not isinstance(records, list) or not all(
+            isinstance(r, str) for r in records
+        ):
+            raise ProtocolError(
+                "repl_apply requires 'records': a list of base64 envelopes"
+            )
+        result = await self._run(
+            "repl.apply_push", apply_pushed_records, self.engine, epoch,
+            records, executor=self._repl_executor,
+        )
+        self.counters["repl_applies"] += 1
+        self.counters["requests_served"] += 1
+        return {"ok": True, "id": request_id, **result}
+
+    def _op_repl_status(self, request_id) -> dict[str, Any]:
+        state = self.engine.replication
+        self.counters["requests_served"] += 1
+        return {
+            "ok": True,
+            "id": request_id,
+            "replication": state.metrics(),
+            "primary_hint": self.primary_hint,
+        }
+
+    def _op_promote(self, request_id) -> dict[str, Any]:
+        """Operator-initiated failover: make this node the primary."""
+        status = self.engine.replication.promote()
+        self.counters["requests_served"] += 1
+        return {"ok": True, "id": request_id, **status}
+
     # -- statement ops -----------------------------------------------------
 
     def _validate_params(self, params) -> Optional[dict[str, Any]]:
@@ -509,6 +720,21 @@ class AeonGServer:
             # drops the dead txn from the session.
             session.txn.check_active()
         engine = self.engine
+        if engine.replication.is_replica:
+            # Replicas serve snapshot reads at their applied watermark;
+            # writes must go to the primary.  Reject with the primary's
+            # address so the retrying client can fail over (retryable:
+            # the same statement succeeds there — or here, once this
+            # node is promoted).
+            from repro.query.executor import statement_prefix
+            from repro.query.parser import parse
+
+            if statement_prefix(text) is None and parse(text).is_write:
+                self.counters["not_primary_rejections"] += 1
+                raise NotPrimaryError(
+                    "write routed to a replica",
+                    primary_address=self.primary_hint,
+                )
 
         def work():
             from repro.query.executor import execute_query, statement_prefix
@@ -638,6 +864,13 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 0,
     config: Optional[ServerConfig] = None,
+    replica_of: Optional[str] = None,
+    replica_id: str = "replica-1",
+    lease_timeout: float = 2.0,
+    poll_interval: float = 0.2,
+    auto_promote: bool = True,
+    sync_replication: bool = False,
+    metrics_port: Optional[int] = None,
     **engine_kwargs,
 ) -> None:
     """Blocking entry point behind ``aeong serve DIR``.
@@ -645,10 +878,47 @@ def serve(
     Opens (or creates) a durable engine at ``directory`` — replaying
     its WAL and reporting recovery — then serves until SIGTERM/SIGINT,
     drains, and closes the engine cleanly.
+
+    With ``replica_of="HOST:PORT"`` the node starts as a replica: a
+    :class:`~repro.replication.ReplicaRunner` streams the primary's
+    WAL, the node serves snapshot reads at its applied watermark, and
+    on lease expiry (``lease_timeout`` seconds without a successful
+    fetch, ``auto_promote`` on) it promotes itself and starts accepting
+    writes.  ``sync_replication`` makes a *primary* hold each commit
+    acknowledgement until a replica has applied it.
+
+    Startup prints machine-readable lines (stable format; the harness
+    and tests parse them)::
+
+        aeong serving on 127.0.0.1:43117
+        aeong metrics on 127.0.0.1:9464        (with --metrics-port)
+        aeong role replica of 127.0.0.1:43000  (with --replica-of)
     """
     from repro.core.durability import open_engine
+    from repro.replication import ReplicaRunner, ReplicationConfig
 
-    engine = open_engine(directory, **engine_kwargs)
+    repl_config: Optional[ReplicationConfig] = None
+    if replica_of is not None:
+        try:
+            primary_host, primary_port_s = replica_of.rsplit(":", 1)
+            primary_port = int(primary_port_s)
+        except ValueError:
+            raise SystemExit(
+                f"--replica-of must be HOST:PORT, got {replica_of!r}"
+            )
+        repl_config = ReplicationConfig(
+            role="replica",
+            replica_id=replica_id,
+            primary_host=primary_host,
+            primary_port=primary_port,
+            lease_timeout=lease_timeout,
+            poll_interval=poll_interval,
+            auto_promote=auto_promote,
+        )
+    elif sync_replication:
+        repl_config = ReplicationConfig(role="primary", sync_commit=True)
+
+    engine = open_engine(directory, replication=repl_config, **engine_kwargs)
     report = engine.last_recovery
     if report is not None:
         print(
@@ -658,8 +928,12 @@ def serve(
             flush=True,
         )
     cfg = config or ServerConfig(host=host, port=port)
+    if metrics_port is not None:
+        cfg.metrics_port = metrics_port
+    runner: Optional[ReplicaRunner] = None
 
     async def main() -> None:
+        nonlocal runner
         server = AeonGServer(engine, cfg)
         bound_host, bound_port = await server.start()
         stop = asyncio.Event()
@@ -667,6 +941,20 @@ def serve(
         for sig in (signal.SIGTERM, signal.SIGINT):
             loop.add_signal_handler(sig, stop.set)
         print(f"aeong serving on {bound_host}:{bound_port}", flush=True)
+        if server.metrics_address is not None:
+            mhost, mport = server.metrics_address
+            print(f"aeong metrics on {mhost}:{mport}", flush=True)
+        if repl_config is not None and repl_config.role == "replica":
+            server.primary_hint = (
+                f"{repl_config.primary_host}:{repl_config.primary_port}"
+            )
+            runner = ReplicaRunner(engine, repl_config)
+            runner.start()
+            print(
+                f"aeong role replica of {server.primary_hint}", flush=True
+            )
+        else:
+            print("aeong role primary", flush=True)
         await stop.wait()
         print("aeong draining", flush=True)
         await server.shutdown()
@@ -674,6 +962,8 @@ def serve(
     try:
         asyncio.run(main())
     finally:
+        if runner is not None:
+            runner.stop()
         engine.close()
     print("aeong closed cleanly", flush=True)
 

@@ -17,6 +17,17 @@ of robustness on top:
   resending could double-apply.  Callers see
   :class:`ConnectionError` and must reconcile — exactly the at-most-
   once ack semantics the chaos example demonstrates.
+* **Interactive-transaction loss** — a session transaction
+  (``begin()``) lives in the *old* connection's server session; when
+  that connection dies, the server rolls the transaction back.  The
+  client therefore refuses to silently continue on a fresh session:
+  the operation that discovers the loss raises a structured
+  ``TXN_LOST`` :class:`~repro.errors.ServerError` (never retryable),
+  and the caller decides whether to begin again and re-run.
+* **Failover** — a ``NOT_PRIMARY`` rejection carries the primary's
+  address; the client re-resolves to it (or rotates through its
+  ``endpoints`` list), reconnects — replaying prepared statements onto
+  the new server — and retries the statement there.
 """
 
 from __future__ import annotations
@@ -54,15 +65,25 @@ class Client:
         policy: Optional[RetryPolicy] = None,
         connect_timeout: float = 5.0,
         request_timeout: float = 30.0,
+        endpoints: Optional[list[tuple[str, int]]] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.policy = policy or DEFAULT_POLICY
         self.connect_timeout = connect_timeout
         self.request_timeout = request_timeout
+        #: Known cluster endpoints, rotated through on connection
+        #: failure and ``NOT_PRIMARY`` rejections without an address
+        #: hint.  Always contains the current ``(host, port)``.
+        self.endpoints: list[tuple[str, int]] = list(endpoints or [])
+        if (host, port) not in self.endpoints:
+            self.endpoints.insert(0, (host, port))
         self._sock: Optional[socket.socket] = None
         self._next_id = 0
         self._prepared: dict[str, str] = {}
+        #: True while a ``begin()``-opened transaction is (believed)
+        #: live in the current server session.
+        self._txn_active = False
         #: Observability for the harness: how often this client had to
         #: retry, reconnect, or wait out backpressure.
         self.stats = {
@@ -71,16 +92,35 @@ class Client:
             "reconnects": 0,
             "shed_seen": 0,
             "degraded_seen": 0,
+            "failovers": 0,
+            "txn_lost": 0,
         }
 
     # -- connection management ---------------------------------------------
 
     def connect(self) -> dict[str, Any]:
-        """(Re)connect and shake hands; returns the hello response."""
+        """(Re)connect and shake hands; returns the hello response.
+
+        With more than one known endpoint, each is tried in turn
+        starting from the current one, so a client aimed at a dead
+        node comes up connected to a surviving one.
+        """
         self.close()
-        sock = socket.create_connection(
-            (self.host, self.port), timeout=self.connect_timeout
-        )
+        last_error: Optional[OSError] = None
+        for _ in range(max(1, len(self.endpoints))):
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout
+                )
+                break
+            except OSError as exc:
+                last_error = exc
+                if len(self.endpoints) < 2:
+                    raise
+                self._rotate_endpoint()
+        else:
+            assert last_error is not None
+            raise last_error
         sock.settimeout(self.request_timeout)
         # Small latency-sensitive frames: Nagle + delayed ACK would add
         # tens of milliseconds to every round trip.
@@ -150,11 +190,63 @@ class Client:
         if response.get("ok"):
             return response
         error = response.get("error") or {}
-        raise ServerError(
+        exc = ServerError(
             error.get("code", "ERROR"),
             error.get("message", "unknown server error"),
             retryable=bool(error.get("retryable")),
             retry_after=error.get("retry_after"),
+        )
+        # NOT_PRIMARY responses carry the primary's address so the
+        # retry loop can fail over without a directory service.
+        exc.primary_address = error.get("primary")
+        raise exc
+
+    # -- failover ----------------------------------------------------------
+
+    def _adopt_endpoint(self, host: str, port: int) -> None:
+        if (host, port) not in self.endpoints:
+            self.endpoints.append((host, port))
+        if (host, port) != (self.host, self.port):
+            self.host, self.port = host, port
+            self.close()
+
+    def _rotate_endpoint(self) -> None:
+        """Move to the next known endpoint (no-op with only one)."""
+        if len(self.endpoints) < 2:
+            return
+        try:
+            index = self.endpoints.index((self.host, self.port))
+        except ValueError:
+            index = -1
+        self.host, self.port = self.endpoints[
+            (index + 1) % len(self.endpoints)
+        ]
+        self.close()
+
+    def _handle_not_primary(self, exc: ServerError) -> None:
+        """Re-resolve to the primary named in the rejection (or rotate)."""
+        self.stats["failovers"] += 1
+        hint = getattr(exc, "primary_address", None)
+        if isinstance(hint, str) and ":" in hint:
+            host, _, port_s = hint.rpartition(":")
+            try:
+                self._adopt_endpoint(host, int(port_s))
+                return
+            except ValueError:
+                pass
+        self._rotate_endpoint()
+
+    def _lost_transaction(self) -> ServerError:
+        """The structured error for a transaction that died with its
+        connection.  Never retryable: the rollback already happened;
+        only the caller knows whether re-running is correct."""
+        self._txn_active = False
+        self.stats["txn_lost"] += 1
+        return ServerError(
+            "TXN_LOST",
+            "connection lost while an interactive transaction was open; "
+            "the server rolled it back — begin again and re-run",
+            retryable=False,
         )
 
     # -- the retry loop ----------------------------------------------------
@@ -182,6 +274,8 @@ class Client:
                 sent = True
                 return self._roundtrip(request)
             except ServerError as exc:
+                if exc.code == "NOT_PRIMARY":
+                    self._handle_not_primary(exc)
                 if not exc.retryable or attempt >= policy.max_attempts:
                     raise
                 self.stats["shed_seen"] += 1
@@ -190,8 +284,22 @@ class Client:
                     delay = max(delay, float(exc.retry_after))
                 policy.sleep(delay)
             except (ConnectionError, OSError):
-                if (sent and not idempotent) or attempt >= policy.max_attempts:
+                if sent and not idempotent:
+                    # Outcome unknown (the frame may have been acted
+                    # on); the caller reconciles.  The session — and
+                    # any transaction in it — is gone either way.
+                    self._txn_active = False
                     raise
+                if self._txn_active:
+                    # The dead connection took its server session — and
+                    # the interactive transaction — with it.  Silently
+                    # reconnecting would run this statement in
+                    # autocommit on a fresh session: surface the loss
+                    # as a structured, non-retryable error instead.
+                    raise self._lost_transaction() from None
+                if attempt >= policy.max_attempts:
+                    raise
+                self._rotate_endpoint()
                 policy.sleep(policy.delay(attempt))
             self.stats["retries"] += 1
 
@@ -236,7 +344,9 @@ class Client:
         request: dict[str, Any] = {"op": "begin"}
         if timeout is not None:
             request["timeout"] = timeout
-        return self.request(request)["txn"]
+        txn_id = self.request(request)["txn"]
+        self._txn_active = True
+        return txn_id
 
     def commit(self) -> int:
         """Commit the session transaction.
@@ -246,10 +356,20 @@ class Client:
         ``ConnectionError`` in that window; the write may or may not be
         durable, and only the server's state can say which.
         """
-        return self.request({"op": "commit"}, idempotent=False)["commit_ts"]
+        try:
+            return self.request({"op": "commit"}, idempotent=False)[
+                "commit_ts"
+            ]
+        finally:
+            # Success, conflict, or lost ack: the transaction no longer
+            # exists in the session either way.
+            self._txn_active = False
 
     def abort(self) -> None:
-        self.request({"op": "abort"})
+        try:
+            self.request({"op": "abort"})
+        finally:
+            self._txn_active = False
 
     def ping(self) -> bool:
         return bool(self.request({"op": "ping"}).get("pong"))

@@ -36,9 +36,14 @@ from repro.errors import (
     IntegrityError,
     CorruptionError,
     GraphError,
+    NotPrimaryError,
     OverloadError,
     ProtocolError,
     QueryError,
+    ReplicationDivergedError,
+    ReplicationFencedError,
+    ReplicationResyncRequired,
+    ReplicationTimeout,
     ReproError,
     SerializationConflict,
     StorageError,
@@ -203,6 +208,18 @@ _TAXONOMY: tuple[tuple[type, str, bool], ...] = (
     (IntegrityError, "INTEGRITY", False),
     (CorruptionError, "CORRUPTION", False),
     (FaultInjected, "IO_ERROR", False),
+    # NOT_PRIMARY is retryable: the same statement succeeds once the
+    # client re-resolves to the primary (the response carries its
+    # address as a hint).  The other replication codes are terminal for
+    # the sender: a fenced zombie, a diverged replica, and a node below
+    # the truncation fence all need operator action, and REPL_TIMEOUT
+    # must not be retried — the write IS committed on the primary, so a
+    # resend would double-apply it.
+    (NotPrimaryError, "NOT_PRIMARY", True),
+    (ReplicationFencedError, "REPL_FENCED", False),
+    (ReplicationDivergedError, "REPL_DIVERGED", False),
+    (ReplicationResyncRequired, "REPL_RESYNC", False),
+    (ReplicationTimeout, "REPL_TIMEOUT", False),
     (QueryError, "QUERY_ERROR", False),
     (GraphError, "GRAPH_ERROR", False),
     (TemporalError, "TEMPORAL_ERROR", False),
@@ -239,6 +256,10 @@ def error_response(
     }
     if retryable and retry_after is not None:
         error["retry_after"] = retry_after
+    primary = getattr(exc, "primary_address", None)
+    if primary is not None:
+        # NOT_PRIMARY responses tell the client where to fail over to.
+        error["primary"] = primary
     return {"ok": False, "id": request_id, "error": error}
 
 

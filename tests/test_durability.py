@@ -327,3 +327,92 @@ class TestRecoveryEdgeCases:
             assert recovered.get_vertex(txn, ids["a"]).properties["v"] == 3
         recovered.close()
         recovered.close()
+
+
+class TestReplayIdempotence:
+    """Applying a WAL record range twice must be a no-op.
+
+    The replication stream re-ships overlapping ranges by design (a
+    resumed fetch restarts at the watermark; the checkpoint fence keeps
+    records a replica already applied): :meth:`AeonG.apply_replicated`
+    must skip every record at or below the applied watermark, byte-for-
+    byte deterministically, never double-applying a committed write.
+    """
+
+    def _records(self, db):
+        records = db.wal_records_from(1)
+        assert records, "workload journaled nothing"
+        return records
+
+    def test_double_apply_is_noop(self, tmp_path):
+        source = AeonG.open(tmp_path / "src", gc_interval_transactions=0)
+        _workload(source)
+        records = self._records(source)
+        target = AeonG.open(tmp_path / "dst", gc_interval_transactions=0)
+        assert [
+            target.apply_replicated(ts, ops) for ts, ops in records
+        ] == [True] * len(records)
+        first = _history_signature(target)
+        watermark = target.replication.watermark()
+        # The identical range again: every record skipped, nothing moves.
+        assert [
+            target.apply_replicated(ts, ops) for ts, ops in records
+        ] == [False] * len(records)
+        assert target.replication.watermark() == watermark
+        assert _history_signature(target) == first == \
+            _history_signature(source)
+        source.close()
+        target.close()
+
+    def test_overlapping_resend_after_restart_applies_only_suffix(
+        self, tmp_path
+    ):
+        source = AeonG.open(tmp_path / "src", gc_interval_transactions=0)
+        _workload(source)
+        records = self._records(source)
+        half = len(records) // 2
+        target = AeonG.open(tmp_path / "dst", gc_interval_transactions=0)
+        for ts, ops in records[:half]:
+            assert target.apply_replicated(ts, ops)
+        target.close()
+        # Restart: recovery restores the applied watermark from the
+        # replica's own WAL, so a full-range resend (the stream picking
+        # up from scratch) applies exactly the missing suffix.
+        target = AeonG.open(tmp_path / "dst", gc_interval_transactions=0)
+        outcomes = [target.apply_replicated(ts, ops) for ts, ops in records]
+        assert outcomes == [False] * half + [True] * (len(records) - half)
+        assert _history_signature(target) == _history_signature(source)
+        source.close()
+        target.close()
+
+    def test_reapplying_own_recovered_wal_is_noop(self, tmp_path):
+        db = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        _workload(db)
+        records = self._records(db)
+        db.close()
+        recovered = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        before = _history_signature(recovered)
+        assert not any(
+            recovered.apply_replicated(ts, ops) for ts, ops in records
+        )
+        assert _history_signature(recovered) == before
+        recovered.close()
+
+    def test_interleaved_duplicates_within_a_batch(self, tmp_path):
+        """A batch that repeats records it already contains (torn-batch
+        refetch overlap) applies each commit exactly once."""
+        source = AeonG.open(tmp_path / "src", gc_interval_transactions=0)
+        _workload(source)
+        records = self._records(source)
+        duplicated = []
+        for record in records:
+            duplicated.append(record)
+            duplicated.append(record)  # immediate resend of the same ts
+        target = AeonG.open(tmp_path / "dst", gc_interval_transactions=0)
+        applied = sum(
+            1 for ts, ops in duplicated if target.apply_replicated(ts, ops)
+        )
+        assert applied == len(records)
+        assert _history_signature(target) == _history_signature(source)
+        source.close()
+        target.close()

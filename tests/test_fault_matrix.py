@@ -28,6 +28,8 @@ from repro.kvstore.sstable import SSTable
 # Importing the protocol module registers the server.conn.* socket
 # sites, so the completeness check below sees (and demands) them.
 from repro.server.protocol import SITE_CONN_READ, SITE_CONN_WRITE
+# Likewise the replication module registers the repl.stream.* sites.
+from repro.replication import SITE_STREAM_READ, SITE_STREAM_WRITE
 
 pytestmark = pytest.mark.fault_matrix
 
@@ -459,6 +461,92 @@ class TestServerSocketMatrix:
         db.close()
 
 
+# -- replication-stream matrix ----------------------------------------------
+
+REPL_MATRIX = [
+    (SITE_STREAM_READ, "error"),
+    (SITE_STREAM_READ, "delay"),
+    (SITE_STREAM_READ, "disconnect"),
+    (SITE_STREAM_READ, "short-read"),
+    (SITE_STREAM_READ, "torn-write"),
+    (SITE_STREAM_WRITE, "error"),
+    (SITE_STREAM_WRITE, "delay"),
+    (SITE_STREAM_WRITE, "disconnect"),
+    (SITE_STREAM_WRITE, "torn-write"),
+]
+
+
+class TestReplicationStreamMatrix:
+    """The committed-prefix contract across the replication stream:
+    under every stream fault mode, every write acknowledged by the
+    primary eventually exists on the replica (the stream retries,
+    refetches torn batches, and never applies a damaged record)."""
+
+    @pytest.mark.parametrize("site,mode", REPL_MATRIX)
+    def test_acked_writes_reach_the_replica(self, site, mode):
+        import time
+
+        from repro.replication import ReplicaRunner, ReplicationConfig
+        from repro.resilience import RetryPolicy
+        from repro.server import ServerThread
+
+        primary = AeonG(gc_interval_transactions=0)
+        thread = ServerThread(primary)
+        host, port = thread.start()
+        replica = AeonG(
+            gc_interval_transactions=0,
+            replication=ReplicationConfig(
+                role="replica",
+                primary_host=host,
+                primary_port=port,
+                poll_interval=0.02,
+                # The fault must never look like a dead primary.
+                lease_timeout=60.0,
+                auto_promote=False,
+            ),
+        )
+        runner = ReplicaRunner(
+            replica,
+            replica.replication.config,
+            policy=RetryPolicy(max_attempts=4, base_delay=0.005,
+                               max_delay=0.05),
+        )
+        runner.start()
+        try:
+            FAILPOINTS.activate(site, mode, nth=2, times=3)
+            acked = []
+            for i in range(6):
+                with primary.transaction() as txn:
+                    primary.create_vertex(txn, ["R"], {"ext_id": f"r{i}"})
+                acked.append(f"r{i}")
+                time.sleep(0.01)  # interleave fetches with the faults
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if (
+                    replica.replication.watermark()
+                    == primary.replication.watermark()
+                ):
+                    break
+                time.sleep(0.01)
+            fired = FAILPOINTS.stats(site).fired
+            FAILPOINTS.clear()
+            assert fired >= 1, f"site {site} never fired"
+            # acked implies present — no acknowledged write lost, no
+            # damaged record applied.
+            rows = replica.execute("MATCH (n:R) RETURN n.ext_id")
+            assert {row["n.ext_id"] for row in rows} == set(acked)
+            assert (
+                replica.replication.watermark()
+                == primary.replication.watermark()
+            )
+        finally:
+            FAILPOINTS.clear()
+            runner.stop()
+            thread.stop()
+            replica.close()
+            primary.close()
+
+
 # -- coverage completeness --------------------------------------------------
 
 #: Sites whose only sensible exercise is the error mode: they fire on
@@ -477,6 +565,7 @@ def test_matrix_covers_every_registered_site():
         {site for site, _mode in ENGINE_MATRIX}
         | {site for site, _mode in KV_MATRIX}
         | {site for site, _mode in SOCKET_MATRIX}
+        | {site for site, _mode in REPL_MATRIX}
         | ERROR_ONLY_SITES
         | BESPOKE_SITES
     )

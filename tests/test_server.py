@@ -454,6 +454,102 @@ class TestSessionDeath:
         ]
 
 
+# -- interactive-transaction loss -------------------------------------------
+
+
+class TestTransactionLoss:
+    """A connection that dies while a ``begin()`` transaction is open
+    took its server session — and the transaction — with it.  The
+    client must surface a structured ``TXN_LOST`` error on the next
+    operation, never silently replay onto a fresh session (regression:
+    the reconnect path used to re-run the statement in autocommit)."""
+
+    def _kill_connection(self, client):
+        """Tear the transport under the client without telling it."""
+        client._sock.shutdown(socket.SHUT_RDWR)
+        client._sock.close()
+
+    def test_connection_death_mid_txn_raises_txn_lost(self, server, engine):
+        _thread, host, port = server
+        client = Client(host, port, policy=FAST_RETRY)
+        client.connect()
+        client.begin()
+        client.query("CREATE (n:L {ext_id: 'doomed'})")
+        self._kill_connection(client)
+        with pytest.raises(ServerError) as info:
+            client.query("CREATE (n:L {ext_id: 'after'})")
+        assert info.value.code == "TXN_LOST"
+        assert info.value.retryable is False
+        assert client.stats["txn_lost"] == 1
+        # The statement was NOT silently replayed in autocommit: the
+        # rolled-back transaction's writes are gone, and nothing new
+        # was created behind the caller's back.
+        _wait_balanced(engine)
+        assert engine.execute("MATCH (n:L) RETURN n.ext_id") == []
+        # The client recovers: a fresh begin/commit works.
+        client.begin()
+        client.query("CREATE (n:L {ext_id: 'retried'})")
+        assert client.commit() > 0
+        assert engine.execute("MATCH (n:L) RETURN n.ext_id") == [
+            {"n.ext_id": "retried"}
+        ]
+        client.close()
+
+    def test_injected_disconnect_mid_txn_raises_txn_lost(
+        self, server, engine
+    ):
+        _thread, host, port = server
+        client = Client(host, port, policy=FAST_RETRY)
+        client.connect()
+        client.begin()
+        client.query("CREATE (n:L {ext_id: 'doomed'})")
+        # The write site fires while the server answers the next
+        # request, so the disconnect lands deterministically on it.
+        FAILPOINTS.activate(SITE_CONN_WRITE, "disconnect", times=1)
+        with pytest.raises(ServerError) as info:
+            client.query("CREATE (n:L {ext_id: 'after'})")
+        assert info.value.code == "TXN_LOST"
+        FAILPOINTS.clear()
+        _wait_balanced(engine)
+        assert engine.execute("MATCH (n:L) RETURN n.ext_id") == []
+        client.close()
+
+    def test_commit_and_abort_clear_the_txn_flag(self, server, engine):
+        _thread, host, port = server
+        client = Client(host, port, policy=FAST_RETRY)
+        client.connect()
+        client.begin()
+        client.query("CREATE (n:L {ext_id: 'kept'})")
+        client.commit()
+        # After commit, a torn connection is an ordinary reconnect —
+        # no transaction was open, so no TXN_LOST.
+        self._kill_connection(client)
+        rows = client.query("MATCH (n:L) RETURN n.ext_id")
+        assert rows == [{"n.ext_id": "kept"}]
+        assert client.stats["txn_lost"] == 0
+        client.begin()
+        client.abort()
+        self._kill_connection(client)
+        assert client.query("MATCH (n:L) RETURN n.ext_id") == rows
+        assert client.stats["txn_lost"] == 0
+        client.close()
+
+    def test_autocommit_clients_reconnect_silently(self, server, engine):
+        """Without an open transaction the old behavior stands: the
+        connection loss is retried transparently."""
+        _thread, host, port = server
+        client = Client(host, port, policy=FAST_RETRY)
+        client.connect()
+        client.query("CREATE (n:L {ext_id: 'a'})")
+        self._kill_connection(client)
+        client.query("CREATE (n:L {ext_id: 'b'})")
+        assert client.stats["reconnects"] >= 1
+        assert client.stats["txn_lost"] == 0
+        rows = engine.execute("MATCH (n:L) RETURN n.ext_id")
+        assert {r["n.ext_id"] for r in rows} == {"a", "b"}
+        client.close()
+
+
 # -- drain ------------------------------------------------------------------
 
 
