@@ -1,0 +1,402 @@
+"""Backup/resync chaos bench — SIGKILL processes, lose nothing.
+
+The acceptance scenarios for the backup subsystem, run end to end over
+real processes, real sockets and real SIGKILLs:
+
+**Scenario A — mid-backup kills.**  An ``aeong serve`` primary takes a
+Bi-LDBC load while a ramp of ``aeong backup`` subprocesses archives its
+durability directory online; each backup process is SIGKILLed at a
+staggered offset (failpoint delays stretch the copy phase so the kills
+land mid-copy), and finally the *primary itself* is SIGKILLed while a
+backup is still reading its directory.  The contract: every archive
+destination is either absent or manifest-valid — never a torn,
+half-written snapshot — and a cold backup of the crashed directory
+restores every acknowledged write.
+
+**Scenario B — mid-resync kill.**  A replica is detached, the primary
+takes more writes and truncates its WAL past the replica's watermark
+(the classic ``REPL_RESYNC`` ditch).  The replica reattaches, begins a
+snapshot bootstrap — and the primary is SIGKILLed mid-stream.  A fresh
+primary process on the same directory takes over; the replica's
+bootstrap retries against it (same persisted snapshot, so in-flight
+chunk fetches resume at their offset) and the replica converges with
+zero acknowledged writes lost, with no operator intervention beyond
+restarting the dead primary.
+
+``benchmarks/results/BENCH_backup.json`` records both verdicts.  Set
+``BENCH_SMOKE=1`` for the CI-sized run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro import AeonG
+from repro.backup import create_backup, restore_backup, verify_backup
+from repro.resilience import RetryPolicy
+from repro.server import Client
+from repro.server.harness import run_load
+from repro.workloads import bildbc, ldbc
+from benchmarks.conftest import RESULTS_DIR, write_report
+
+from benchmarks.test_replication import _spawn as _spawn_plain  # noqa: F401
+from benchmarks.test_replication import _status, _wait_until
+
+pytestmark = pytest.mark.backup
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+OPS = 120 if SMOKE else 400
+CLIENTS = 4 if SMOKE else 8
+#: Number of online backups attempted (and SIGKILLed) under load.
+BACKUP_ATTEMPTS = 3 if SMOKE else 5
+#: Failpoint spec stretching each archived file copy by 50ms so the
+#: staggered SIGKILLs land mid-copy instead of racing a sub-ms backup.
+SLOW_COPY = "backup.copy=delay:1:100000"
+#: Same idea on the primary's snapshot-serving side for scenario B.
+SLOW_SNAPSHOT = "repl.snapshot.write=delay:1:100000;" + SLOW_COPY
+
+HARNESS_POLICY = RetryPolicy(max_attempts=8, base_delay=0.01, max_delay=0.2)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    dataset = ldbc.generate(persons=20, seed=42)
+    return dataset, bildbc.generate_operations(dataset, OPS, seed=7)
+
+
+def _payload() -> dict:
+    path = RESULTS_DIR / "BENCH_backup.json"
+    payload = json.loads(path.read_text()) if path.exists() else {}
+    payload["config"] = {
+        "smoke": SMOKE,
+        "ops": OPS,
+        "clients": CLIENTS,
+        "backup_attempts": BACKUP_ATTEMPTS,
+    }
+    return payload
+
+
+def _save(payload: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_backup.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def _env(failpoints: str = "") -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(
+        (RESULTS_DIR.parent.parent / "src").resolve()
+    ) + os.pathsep + env.get("PYTHONPATH", "")
+    if failpoints:
+        env["REPRO_FAILPOINTS"] = failpoints
+    else:
+        env.pop("REPRO_FAILPOINTS", None)
+    return env
+
+
+def _spawn(argv: list[str], failpoints: str = ""):
+    """``aeong serve`` subprocess (optionally with armed failpoints)."""
+    import re
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", *argv],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=_env(failpoints),
+    )
+    match = None
+    while match is None:
+        line = proc.stdout.readline()
+        assert line, "server died before binding"
+        match = re.search(r"serving on ([\d.]+):(\d+)", line)
+    return proc, match.group(1), int(match.group(2))
+
+
+def _backup_proc(source, dest, failpoints: str = "") -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "backup", str(source), str(dest)],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        env=_env(failpoints),
+    )
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _reap(*procs) -> None:
+    for proc in procs:
+        if proc is None:
+            continue
+        if proc.poll() is None:
+            proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:  # pragma: no cover
+            proc.kill()
+            proc.wait()
+
+
+def _absent_or_valid(dest) -> str:
+    """Classify an archive destination: 'absent', 'valid', or the
+    findings if the manifest fails verification (test then fails)."""
+    if not dest.exists():
+        return "absent"
+    _manifest, findings = verify_backup(dest)
+    assert findings == [], f"torn archive at {dest}: {findings}"
+    return "valid"
+
+
+def _rows(host: str, port: int) -> set:
+    with Client(host, port, policy=HARNESS_POLICY) as client:
+        return {
+            row["n.ext_id"]
+            for row in client.query("MATCH (n) RETURN n.ext_id")
+        }
+
+
+# -- scenario A: SIGKILL mid-backup -----------------------------------------
+
+
+def test_sigkill_mid_backup_archives_stay_valid(stream, tmp_path):
+    dataset, ops = stream
+    primary_dir = tmp_path / "primary"
+    proc = None
+    try:
+        proc, host, port = _spawn([str(primary_dir), "--port", "0"])
+        seed = run_load(
+            host, port, dataset.ops, clients=CLIENTS, policy=HARNESS_POLICY
+        )
+        assert seed["failed"] == 0
+        acked = set(seed["acked_inserts"])
+
+        # Online backups under live load, each SIGKILLed at a staggered
+        # offset into its (failpoint-stretched) copy phase.
+        load_record = {}
+
+        def _load():
+            load_record.update(
+                run_load(
+                    host, port, ops.ops, clients=CLIENTS,
+                    policy=HARNESS_POLICY,
+                )
+            )
+
+        loader = threading.Thread(target=_load)
+        loader.start()
+        verdicts = []
+        killed_backups = 0
+        for i in range(BACKUP_ATTEMPTS):
+            dest = tmp_path / f"arch-{i}"
+            bproc = _backup_proc(primary_dir, dest, failpoints=SLOW_COPY)
+            time.sleep(0.05 + 0.05 * i)
+            if bproc.poll() is None:
+                os.kill(bproc.pid, signal.SIGKILL)
+                killed_backups += 1
+            bproc.wait()
+            verdicts.append((dest, _absent_or_valid(dest)))
+        assert killed_backups >= 1, "every backup outran its kill"
+
+        # One backup completed *without* a kill must exist so the ramp
+        # proves both halves of the contract.
+        final_dest = tmp_path / "arch-final"
+        bproc = _backup_proc(primary_dir, final_dest)
+        assert bproc.wait(timeout=60) == 0
+        verdicts.append((final_dest, _absent_or_valid(final_dest)))
+
+        # Now SIGKILL the *primary* while a backup is mid-read of its
+        # directory: the archive must still come out absent-or-valid,
+        # and the directory itself must recover every acked write.
+        during_kill = tmp_path / "arch-during-kill"
+        bproc = _backup_proc(primary_dir, during_kill, failpoints=SLOW_COPY)
+        time.sleep(0.05)
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=10)
+        bproc.wait(timeout=60)
+        verdicts.append((during_kill, _absent_or_valid(during_kill)))
+
+        loader.join()
+        acked |= set(load_record.get("acked_inserts", ()))
+        assert acked, "no write was acknowledged before the kill"
+    finally:
+        _reap(proc)
+
+    # Zero acked-write loss through the backup path: a cold backup of
+    # the SIGKILLed directory restores to an engine holding every
+    # acknowledged insert.
+    cold = tmp_path / "arch-cold"
+    create_backup(primary_dir, cold)
+    _manifest, findings = verify_backup(cold)
+    assert findings == []
+    restore_backup(cold, tmp_path / "restored")
+    restored = AeonG.open(tmp_path / "restored")
+    try:
+        stored = {
+            row["n.ext_id"]
+            for row in restored.execute("MATCH (n) RETURN n.ext_id")
+        }
+    finally:
+        restored.close()
+    lost = sorted(e for e in acked if e not in stored)
+    assert not lost, f"acked inserts lost through backup/restore: {lost}"
+
+    payload = _payload()
+    payload["backup_chaos"] = {
+        "acked_inserts": len(acked),
+        "lost": 0,
+        "backups_killed": killed_backups,
+        "archives": {
+            str(dest.name): verdict for dest, verdict in verdicts
+        },
+        "valid_archives": sum(1 for _d, v in verdicts if v == "valid"),
+        "absent_archives": sum(1 for _d, v in verdicts if v == "absent"),
+        "primary_killed_mid_backup": True,
+    }
+    _save(payload)
+    print("\n" + write_report("backup_chaos", [
+        "Backup chaos: SIGKILL backups mid-copy, then the primary",
+        f"  acked inserts           {len(acked):>6}",
+        "  lost after restore           0",
+        f"  backups SIGKILLed       {killed_backups:>6}",
+        f"  archives valid/absent   {payload['backup_chaos']['valid_archives']}"
+        f"/{payload['backup_chaos']['absent_archives']}",
+    ]))
+
+
+# -- scenario B: SIGKILL mid-resync -----------------------------------------
+
+
+def test_sigkill_mid_resync_replica_converges(stream, tmp_path):
+    dataset, ops = stream
+    primary_dir = tmp_path / "primary"
+    replica_dir = tmp_path / "replica"
+    pport = _free_port()
+    primary = replica = None
+    replica_argv = [
+        str(replica_dir), "--port", "0",
+        "--replica-of", f"127.0.0.1:{pport}",
+        "--replica-id", "bench-replica",
+        "--lease-timeout", "60", "--poll-interval", "0.05",
+        "--no-auto-promote",
+    ]
+    try:
+        primary, phost, _ = _spawn([str(primary_dir), "--port", str(pport)])
+        seed = run_load(
+            phost, pport, dataset.ops, clients=CLIENTS,
+            policy=HARNESS_POLICY,
+        )
+        assert seed["failed"] == 0
+        acked = set(seed["acked_inserts"])
+
+        replica, rhost, rport = _spawn(replica_argv)
+        _wait_until(
+            lambda: _status(rhost, rport)["replication"]["lag"] == 0,
+            timeout=20.0, what="replica catch-up",
+        )
+
+        # Detach the replica, keep writing, truncate the WAL past its
+        # watermark: the replica's next fetch can only be answered by a
+        # snapshot bootstrap.
+        _reap(replica)
+        replica = None
+        record = run_load(
+            phost, pport, ops.ops, clients=CLIENTS, policy=HARNESS_POLICY
+        )
+        assert record["failed"] == 0
+        acked |= set(record["acked_inserts"])
+        _reap(primary)
+        primary = None
+        db = AeonG.open(primary_dir)
+        db.checkpoint()
+        fence = db.wal_truncation_fence()
+        db.close()
+        assert fence > 0, "checkpoint did not truncate the WAL"
+
+        # Primary back up — snapshot serving slowed by failpoint delays
+        # so the kill below reliably lands mid-bootstrap.
+        primary, phost, _ = _spawn(
+            [str(primary_dir), "--port", str(pport)],
+            failpoints=SLOW_SNAPSHOT,
+        )
+        replica, rhost, rport = _spawn(replica_argv)
+
+        def _mid_resync():
+            status = _status(rhost, rport)["replication"]
+            return (
+                status.get("resyncs_started", 0) >= 1
+                and status.get("resyncs_completed", 0) == 0
+            )
+
+        _wait_until(_mid_resync, timeout=30.0, what="resync to begin")
+        os.kill(primary.pid, signal.SIGKILL)
+        primary.wait(timeout=10)
+        kill_at = time.monotonic()
+
+        # Operator restarts the dead primary; everything else is the
+        # replica's own retry/resume logic.
+        primary, phost, _ = _spawn([str(primary_dir), "--port", str(pport)])
+
+        def _converged():
+            status = _status(rhost, rport)["replication"]
+            return (
+                status
+                if status["role"] == "replica"
+                and status.get("resyncs_completed", 0) >= 1
+                and status["lag"] == 0
+                else None
+            )
+
+        status = _wait_until(
+            _converged, timeout=90.0, what="replica convergence after kill"
+        )
+        heal_seconds = time.monotonic() - kill_at
+
+        stored = _rows(rhost, rport)
+        lost = sorted(e for e in acked if e not in stored)
+        assert not lost, f"acked inserts lost across resync: {lost}"
+        assert stored == _rows(phost, pport), "replica forked from primary"
+
+        # Post-heal the replica streams normally again.
+        with Client(phost, pport, policy=HARNESS_POLICY) as client:
+            client.query("CREATE (n:Person {ext_id: 'post-heal'})")
+        _wait_until(
+            lambda: "post-heal" in _rows(rhost, rport),
+            timeout=20.0, what="post-heal streaming",
+        )
+    finally:
+        _reap(primary, replica)
+
+    payload = _payload()
+    payload["resync_chaos"] = {
+        "acked_inserts": len(acked),
+        "lost": 0,
+        "wal_truncation_fence": fence,
+        "primary_killed_mid_resync": True,
+        "heal_seconds": round(heal_seconds, 3),
+        "resyncs_started": status.get("resyncs_started"),
+        "resyncs_completed": status.get("resyncs_completed"),
+        "snapshot_chunks_fetched": status.get("snapshot_chunks_fetched"),
+        "snapshot_chunks_resumed": status.get("snapshot_chunks_resumed", 0),
+        "post_heal_streaming": True,
+    }
+    _save(payload)
+    print("\n" + write_report("resync_chaos", [
+        "Resync chaos: SIGKILL primary mid-snapshot-bootstrap",
+        f"  acked inserts           {len(acked):>6}",
+        "  lost after heal              0",
+        f"  kill -> converged       {heal_seconds:>6.2f}s",
+        f"  chunks fetched/resumed  "
+        f"{status.get('snapshot_chunks_fetched')}"
+        f"/{status.get('snapshot_chunks_resumed', 0)}",
+    ]))

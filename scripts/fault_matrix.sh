@@ -4,9 +4,12 @@
 # contract — storage sites crash-and-recover, serving-layer socket
 # sites (server.conn.read / server.conn.write) fault under error,
 # delay, disconnect, short-read and torn-write modes with a live
-# server and a retrying client.  Part of the default test run too;
-# this entry point exists for quick iteration on durability and
-# serving code.
+# server and a retrying client; backup sites (backup.copy,
+# backup.manifest, restore.replay) leave the archive absent-or-valid
+# and rerunnable; snapshot-bootstrap sites (repl.snapshot.read,
+# repl.snapshot.write) fault mid-resync and the replica still
+# converges.  Part of the default test run too; this entry point
+# exists for quick iteration on durability and serving code.
 #
 #   scripts/fault_matrix.sh [extra pytest args...]
 set -eu

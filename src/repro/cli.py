@@ -232,7 +232,10 @@ def _verify_main(argv: list[str]) -> int:
             "replay, anchor cadence, and the current-store seam."
         ),
     )
-    parser.add_argument("path", help="snapshot or durability directory")
+    parser.add_argument(
+        "path", help="snapshot, durability, or (with --backup) archive "
+        "directory"
+    )
     parser.add_argument(
         "--json", action="store_true", dest="as_json",
         help="print the full IntegrityReport as JSON",
@@ -246,7 +249,15 @@ def _verify_main(argv: list[str]) -> int:
         "--strict", action="store_true",
         help="treat warnings as failures (exit 1)",
     )
+    parser.add_argument(
+        "--backup", action="store_true", dest="as_backup",
+        help="PATH is a backup archive: check its manifest, checksums, "
+        "and WAL segment structure, then restore to a scratch "
+        "directory and run the integrity scrubber over the result",
+    )
     options = parser.parse_args(argv)
+    if options.as_backup:
+        return _verify_backup(options)
     try:
         engine = _open_for_verify(options.path)
     except ReproError as exc:
@@ -297,6 +308,195 @@ def _verify_main(argv: list[str]) -> int:
         return 0
     finally:
         engine.close()
+
+
+def _verify_backup(options) -> int:
+    """``aeong verify --backup DEST`` — fsck a backup archive in place.
+
+    Checks the manifest checksum, every archived file's size and
+    crc32, and the WAL segments' frame structure; then restores the
+    archive to a scratch directory and runs the full integrity
+    scrubber over the result, so a backup is proven restorable without
+    touching the operator's data directories.  Exit status matches
+    ``verify``: 0 clean, 1 findings, 2 archive unreadable.
+    """
+    import json
+    import shutil
+    import tempfile
+
+    from repro.backup import restore_backup, verify_backup
+
+    try:
+        manifest, findings = verify_backup(options.path)
+    except ReproError as exc:
+        print(
+            f"error: cannot read backup {options.path}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    for finding in findings:
+        print(
+            f"{finding['severity']}: {finding['code']} "
+            f"{finding['name']} {finding['detail']}"
+        )
+    if findings:
+        print(f"verify FAILED: {len(findings)} archive error(s)")
+        return 1
+    scratch = tempfile.mkdtemp(prefix="aeong-verify-backup-")
+    target = f"{scratch}/restored"
+    try:
+        restore_backup(options.path, target)
+        engine = AeonG.open(target)
+        try:
+            report = engine.scrub_full()
+            summary = report.as_dict()
+        finally:
+            engine.close()
+    except ReproError as exc:
+        print(f"error: backup does not restore: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    if options.as_json:
+        print(
+            json.dumps(
+                {"manifest": manifest, "scrub": summary}, indent=2
+            )
+        )
+    else:
+        print(
+            f"archive ok: watermark {manifest['watermark']}, "
+            f"{len(manifest['files'])} file(s), "
+            f"{len(manifest['segments'])} WAL segment(s), "
+            f"{manifest['backups']} backup run(s)"
+        )
+        verdict = "clean" if report.ok else "FAILED"
+        print(
+            f"restored scrub {verdict}: {len(report.errors())} error(s), "
+            f"{len(report.warnings())} warning(s)"
+        )
+    if not report.ok:
+        return 1
+    if options.strict and report.warnings():
+        return 1
+    return 0
+
+
+def _backup_main(argv: list[str]) -> int:
+    """``aeong backup DIR DEST`` — online backup of a durability dir.
+
+    Exit status: 0 on success, 1 when the backup fails, 2 when the
+    source is not a durability directory.
+    """
+    import json
+
+    from repro.backup import create_backup
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro backup",
+        description=(
+            "Capture an online, checksummed backup of a running (or "
+            "stopped) engine's durability directory: checkpoint copy + "
+            "WAL suffix + CRC-verified MANIFEST.  With --incremental, "
+            "append the WAL delta since the archive's watermark."
+        ),
+    )
+    parser.add_argument("source", help="the engine's durability directory")
+    parser.add_argument("dest", help="archive directory to create/extend")
+    parser.add_argument(
+        "--incremental", action="store_true",
+        help="extend an existing archive instead of creating a new one",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the BackupReport as JSON",
+    )
+    options = parser.parse_args(argv)
+    from pathlib import Path
+
+    if not (Path(options.source) / "engine.wal").exists():
+        print(
+            f"error: {options.source} has no engine.wal — not a "
+            "durability directory",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = create_backup(
+            options.source, options.dest, incremental=options.incremental
+        )
+    except ReproError as exc:
+        print(f"error: backup failed: {exc}", file=sys.stderr)
+        return 1
+    if options.as_json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        kind = "incremental" if report.incremental else "full"
+        print(
+            f"{kind} backup complete: watermark {report.watermark}, "
+            f"{report.files_copied} file(s), {report.bytes_copied} bytes, "
+            f"{report.wal_records_archived} WAL record(s) archived"
+        )
+    return 0
+
+
+def _restore_main(argv: list[str]) -> int:
+    """``aeong restore DEST DIR [--as-of TS]`` — restore an archive.
+
+    Exit status: 0 on success, 1 when the restore fails (damaged
+    archive, timestamp outside coverage, target exists), 2 when the
+    archive cannot be read.
+    """
+    import json
+
+    from repro.backup import read_manifest, restore_backup
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro restore",
+        description=(
+            "Restore a backup archive into a fresh durability "
+            "directory, optionally at a past commit timestamp "
+            "(point-in-time recovery: newest checkpoint at or below "
+            "TS, archived WAL replayed up to TS)."
+        ),
+    )
+    parser.add_argument("archive", help="backup archive directory")
+    parser.add_argument("target", help="durability directory to create")
+    parser.add_argument(
+        "--as-of", type=int, default=None, metavar="TS", dest="as_of",
+        help="restore the state as of commit timestamp TS "
+        "(default: the archive watermark)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the RestoreReport as JSON",
+    )
+    options = parser.parse_args(argv)
+    try:
+        read_manifest(options.archive)
+    except ReproError as exc:
+        print(
+            f"error: cannot read backup {options.archive}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = restore_backup(
+            options.archive, options.target, as_of=options.as_of
+        )
+    except ReproError as exc:
+        print(f"error: restore failed: {exc}", file=sys.stderr)
+        return 1
+    if options.as_json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(
+            f"restored to {options.target} as of ts {report.as_of}: "
+            f"checkpoint fence {report.checkpoint_fence}, "
+            f"{report.records_replayed} WAL record(s) replayed, "
+            f"{report.bytes_restored} bytes"
+        )
+    return 0
 
 
 def _metrics_main(argv: list[str]) -> int:
@@ -438,6 +638,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _metrics_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "backup":
+        return _backup_main(argv[1:])
+    if argv and argv[0] == "restore":
+        return _restore_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Interactive shell for the AeonG temporal graph database",

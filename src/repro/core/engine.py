@@ -896,6 +896,8 @@ class AeonG:
         racing between the None-check and the attribute access cannot
         raise.
         """
+        from repro import backup as backup_module
+
         kv_stats = self.history.kv.stats
         wal = self._wal
         gc_thread = self._gc_thread
@@ -960,6 +962,11 @@ class AeonG:
                 "durability_mode": self.durability_mode,
             },
             "replication": self.replication.metrics(),
+            "backup": backup_module.backup_metrics(),
+            "restore": backup_module.restore_metrics(),
+            "resync": self.replication.resync_metrics(
+                self.observability.registry
+            ),
             "recovery": (
                 self.last_recovery.as_dict()
                 if self.last_recovery is not None
@@ -1011,6 +1018,19 @@ class AeonG:
         self._durability_dir = Path(directory)
         self._wal = wal
 
+    def detach_wal(self) -> None:
+        """Stop journaling and close the WAL, keeping the engine open.
+
+        The resync bootstrap's first step: the replica's stale log is
+        about to be replaced wholesale, so no commit may append to it
+        past this point.  ``_durability_dir`` is kept — the directory
+        is still this engine's home."""
+        with self._close_lock:
+            wal = self._wal
+            self._wal = None
+        if wal is not None:
+            wal.close()
+
     # -- replication (apply path + WAL shipping support) --------------------
 
     def apply_replicated(self, commit_ts: int, ops: list[tuple]) -> bool:
@@ -1050,6 +1070,67 @@ class AeonG:
                 self.replication.note_commit(commit_ts, list(txn.journal))
         self.replication.note_applied()
         return True
+
+    def adopt_snapshot_state(self, donor: "AeonG") -> None:
+        """Replace this engine's graph, history, and clock state with
+        ``donor``'s — the replica-resync bootstrap.
+
+        ``donor`` is a freshly opened engine (typically
+        :meth:`AeonG.open` over a just-restored snapshot) that is
+        *consumed*: its storage, transaction manager, history store,
+        migrator, operators, scrubber, and WAL now belong to this
+        engine, and the donor shell is marked closed so a stray
+        ``close()`` on it cannot close the adopted components.  The
+        adopting engine keeps its own identity — resilience controller,
+        observability registry, replication state (role/epoch/peers),
+        background threads — so the serving layer's references and the
+        registered metrics provider stay valid across the swap.
+
+        Callers must have detached/discarded this engine's previous
+        WAL (see :meth:`detach_wal`) before adopting a durable donor.
+        """
+        if donor is self:
+            raise StorageError("an engine cannot adopt itself")
+        with self._close_lock:
+            if self._closed:
+                raise StorageError("engine is closed")
+            old_wal = self._wal
+            self.storage = donor.storage
+            self.manager = donor.manager
+            self.history = donor.history
+            self.anchor_policy = donor.anchor_policy
+            self.migrator = donor.migrator
+            self.operators = donor.operators
+            self.scrubber = donor.scrubber
+            # Rewire the adopted components onto this engine's
+            # cross-cutting services, exactly as ``__init__`` does.
+            self.history.resilience = self.resilience
+            self.history.tracer = self.observability.tracer
+            self.history.kv.tracer = self.observability.tracer
+            self.scrubber.resilience = self.resilience
+            self.migrator.on_migrated = self.scrubber.note_migrated
+            from repro.mvcc.gc import GarbageCollector
+
+            self.gc = GarbageCollector(
+                self.manager,
+                migrate_hook=(
+                    self._migrate_guarded if self.temporal else None
+                ),
+                reclaim_object_hook=self._reclaim_record,
+            )
+            self._wal = donor._wal
+            if donor._durability_dir is not None:
+                self._durability_dir = donor._durability_dir
+            self._wal_truncation_fence = donor._wal_truncation_fence
+            self.last_recovery = donor.last_recovery
+            self._commits_since_gc = 0
+            # Neutralize the donor shell: its components live here now.
+            donor._wal = None
+            donor._closed = True
+        if old_wal is not None:
+            old_wal.close()
+        self.replication.reset_after_bootstrap()
+        self.replication.note_applied()
 
     def wal_records_from(self, from_ts: int):
         """WAL records with ``commit_ts >= from_ts`` for the shipping

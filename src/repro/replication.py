@@ -30,6 +30,17 @@ history.  A replica whose watermark runs *ahead* of its primary's is
 diverged (:class:`~repro.errors.ReplicationDivergedError`) and must be
 resynced from a fresh copy.
 
+Snapshot bootstrap: resync is no longer terminal.  A replica that hits
+``REPL_RESYNC`` (it fell behind a WAL truncation) or ``REPL_DIVERGED``
+issues ``repl_snapshot``: the primary prepares an online backup of its
+durability directory (:mod:`repro.backup`) under ``repl-snapshot/``,
+serves its ``MANIFEST`` plus checksummed chunks, and the replica
+streams the archive (resumable at the failed offset after a
+disconnect), restores it, adopts the restored state in place
+(:meth:`AeonG.adopt_snapshot_state`), and rejoins the WAL stream at
+the snapshot watermark.  Only a primary with no durability directory
+still surfaces the old terminal condition.
+
 Record envelope (the PR 3 checksum discipline, applied to the wire)::
 
     0x01 | u32 crc32(body) | body        body = serde({"ts", "ops"})
@@ -45,12 +56,15 @@ the crash matrix in ``tests/test_fault_matrix.py``.
 from __future__ import annotations
 
 import base64
+import os
+import shutil
 import struct
 import threading
 import time
 import zlib
 from collections import deque
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Optional
 
 from repro.common.serde import decode_value, encode_value
@@ -63,14 +77,20 @@ from repro.errors import (
     ReplicationResyncRequired,
     ReproError,
     ServerError,
+    StorageError,
 )
 from repro import faults
 from repro.faults import (
     FAILPOINTS,
+    MODE_CORRUPT,
+    MODE_CRASH,
     MODE_DELAY,
     MODE_DISCONNECT,
+    MODE_ERROR,
     MODE_SHORT_READ,
     MODE_TORN_WRITE,
+    SimulatedCrash,
+    corrupt_bytes,
     torn_prefix,
 )
 from repro.resilience import RetryPolicy
@@ -79,7 +99,27 @@ from repro.resilience import RetryPolicy
 #: site; exercised by the fault matrix).
 SITE_STREAM_READ = "repl.stream.read"
 SITE_STREAM_WRITE = "repl.stream.write"
-FAILPOINTS.register(SITE_STREAM_READ, SITE_STREAM_WRITE)
+#: The snapshot-bootstrap stream's sites: ``repl.snapshot.write`` fires
+#: on the primary per served chunk, ``repl.snapshot.read`` on the
+#: replica per fetched chunk (``torn-write``/``corrupt``/``short-read``
+#: damage a chunk so its checksum forces a re-fetch; ``disconnect``
+#: tears the connection and the fetch resumes at the same offset).
+SITE_SNAPSHOT_READ = "repl.snapshot.read"
+SITE_SNAPSHOT_WRITE = "repl.snapshot.write"
+FAILPOINTS.register(
+    SITE_STREAM_READ, SITE_STREAM_WRITE,
+    SITE_SNAPSHOT_READ, SITE_SNAPSHOT_WRITE,
+)
+
+#: Directory (under the primary's durability dir) holding the snapshot
+#: archive served to resyncing replicas.
+SNAPSHOT_DIRNAME = "repl-snapshot"
+#: Raw bytes per snapshot chunk.  Base64 inflates 4/3x on the wire, so
+#: this stays far inside the protocol's 4 MiB frame limit.
+SNAPSHOT_CHUNK_BYTES = 1 << 20
+#: Consecutive failures fetching one chunk before the whole resync
+#: attempt is abandoned (it retries from scratch on the next loop).
+SNAPSHOT_CHUNK_RETRIES = 8
 
 #: Envelope version byte (mirrors the history store's checksum
 #: envelope from the integrity layer).
@@ -265,7 +305,21 @@ class ReplicationState:
             "sync_commit_waits": 0,
             "sync_commit_timeouts": 0,
             "lease_expiries": 0,
+            # snapshot-bootstrap (resync) counters; the primary side
+            # counts served/shipped, the replica side fetched/resumed.
+            "resyncs_started": 0,
+            "resyncs_completed": 0,
+            "resync_failures": 0,
+            "snapshots_served": 0,
+            "snapshot_chunks_served": 0,
+            "snapshot_bytes_shipped": 0,
+            "snapshot_chunks_fetched": 0,
+            "snapshot_chunks_resumed": 0,
+            "snapshot_bytes_fetched": 0,
         }
+        #: Serializes snapshot preparation on the primary (concurrent
+        #: ``repl_snapshot`` manifest requests share one archive).
+        self.snapshot_lock = threading.Lock()
 
     # -- role ----------------------------------------------------------
 
@@ -433,7 +487,31 @@ class ReplicationState:
             return 0
         return self.engine.wal_truncation_fence()
 
+    def reset_after_bootstrap(self) -> None:
+        """Drop state tied to the pre-bootstrap timeline (called after
+        :meth:`AeonG.adopt_snapshot_state`): the in-memory ring may
+        hold records from the discarded history, and serving them to a
+        downstream peer would fork it again."""
+        with self._cond:
+            self._ring.clear()
+            self._cond.notify_all()
+
     # -- metrics -------------------------------------------------------
+
+    def resync_metrics(self, registry=None) -> dict[str, Any]:
+        """The ``resync`` metrics section: snapshot-bootstrap counters
+        plus the resync duration histogram from ``registry``."""
+        with self._lock:
+            out = {
+                key: value
+                for key, value in self.counters.items()
+                if key.startswith(("resync", "snapshot"))
+            }
+        if registry is not None:
+            out["duration_seconds"] = registry.histogram(
+                "resync.seconds"
+            ).summary()
+        return out
 
     def metrics(self) -> dict[str, Any]:
         with self._lock:
@@ -503,8 +581,14 @@ class ReplicaRunner:
         self._client = None
         #: Why the loop ended: ``None`` (still running / clean stop),
         #: ``"promoted"``, ``"fenced"``, ``"diverged"``, ``"resync"``.
+        #: The latter two are now reached only when the primary cannot
+        #: serve bootstrap snapshots (no durability dir) — otherwise
+        #: the runner self-heals via ``repl_snapshot`` and keeps going.
         self.stopped_reason: Optional[str] = None
         self.last_error: Optional[str] = None
+        #: Clock reading of the last verified snapshot chunk — resync
+        #: progress counts as proof of primary liveness for the lease.
+        self._resync_progress = 0.0
 
     # -- lifecycle -----------------------------------------------------
 
@@ -586,14 +670,28 @@ class ReplicaRunner:
                     self.state.counters["fenced_rejections"] += 1
                     self.stopped_reason = "fenced"
                     return
-                if exc.code == "REPL_DIVERGED":
-                    self.state.counters["divergence_detected"] += 1
-                    self.stopped_reason = "diverged"
-                    return
-                if exc.code == "REPL_RESYNC":
-                    self.state.counters["resyncs_required"] += 1
-                    self.stopped_reason = "resync"
-                    return
+                if exc.code in ("REPL_DIVERGED", "REPL_RESYNC"):
+                    if exc.code == "REPL_DIVERGED":
+                        self.state.counters["divergence_detected"] += 1
+                    else:
+                        self.state.counters["resyncs_required"] += 1
+                    outcome = self._try_resync()
+                    if outcome == "healed":
+                        attempt = 0
+                        last_ok = self.state.clock()
+                        continue
+                    if outcome == "unsupported":
+                        self.stopped_reason = (
+                            "diverged" if exc.code == "REPL_DIVERGED"
+                            else "resync"
+                        )
+                        return
+                    # Transient resync failure (primary down mid-stream,
+                    # injected chunk faults): chunk progress proves the
+                    # primary was alive, so credit it against the lease.
+                    last_ok = max(last_ok, self._resync_progress)
+                    last_ok, attempt = self._transient(exc, last_ok, attempt)
+                    continue
                 last_ok, attempt = self._transient(exc, last_ok, attempt)
                 continue
             except (ConnectionError, OSError, ProtocolError) as exc:
@@ -611,9 +709,17 @@ class ReplicaRunner:
             except FaultInjected as exc:
                 self.state.counters["stream_faults"] += 1
                 self.last_error = repr(exc)
-            except ReplicationDivergedError:
-                self.stopped_reason = "diverged"
-                return
+            except ReplicationDivergedError as exc:
+                outcome = self._try_resync()
+                if outcome == "healed":
+                    attempt = 0
+                    last_ok = self.state.clock()
+                    continue
+                if outcome == "unsupported":
+                    self.stopped_reason = "diverged"
+                    return
+                last_ok = max(last_ok, self._resync_progress)
+                last_ok, attempt = self._transient(exc, last_ok, attempt)
         self.stopped_reason = self.stopped_reason or "stopped"
 
     def _transient(self, exc: BaseException, last_ok: float,
@@ -635,6 +741,279 @@ class ReplicaRunner:
         delay = self.policy.delay(min(attempt, self.policy.max_attempts))
         self._stop.wait(delay)
         return last_ok, attempt
+
+    # -- snapshot bootstrap (replica side) -----------------------------
+
+    def _try_resync(self) -> str:
+        """Bootstrap this replica from a primary snapshot.
+
+        Returns ``"healed"`` (state adopted, rejoin the stream at the
+        snapshot watermark), ``"unsupported"`` (the primary cannot
+        serve snapshots — the caller surfaces the pre-snapshot terminal
+        ``resync``/``diverged`` condition), or ``"failed"`` (transient:
+        the caller backs off and the loop retries, so a primary killed
+        mid-resync is survived once it comes back).
+        """
+        state = self.state
+        state.counters["resyncs_started"] += 1
+        started = state.clock()
+        try:
+            if not self._resync():
+                return "unsupported"
+        except Exception as exc:
+            state.counters["resync_failures"] += 1
+            self.last_error = repr(exc)
+            self._close_client()
+            return "failed"
+        state.counters["resyncs_completed"] += 1
+        self.engine.observability.registry.histogram(
+            "resync.seconds"
+        ).observe(state.clock() - started)
+        return "healed"
+
+    def _resync(self) -> bool:
+        """Fetch → restore → adopt.  ``False`` means the primary has no
+        snapshot to offer (terminal); exceptions are transient."""
+        import tempfile
+
+        from repro.backup import restore_backup
+
+        engine = self.engine
+        durable = engine._durability_dir
+        scratch: Optional[Path] = None
+        if durable is not None:
+            archive = Path(durable) / "resync.archive.tmp"
+            restore_dir = Path(durable) / "resync.restore.tmp"
+        else:
+            scratch = Path(tempfile.mkdtemp(prefix="aeong-resync-"))
+            archive = scratch / "archive"
+            restore_dir = scratch / "restore"
+        try:
+            try:
+                self._fetch_snapshot(archive)
+            except ServerError as exc:
+                if exc.code in ("REPL_RESYNC", "REPL_DIVERGED"):
+                    # The primary itself says it cannot serve a
+                    # snapshot (no durability dir): the old dead end.
+                    return False
+                raise
+            for stale in (restore_dir,
+                          restore_dir.with_name(restore_dir.name + ".tmp")):
+                if stale.exists():
+                    shutil.rmtree(stale)
+            restore_backup(
+                archive, restore_dir, storage_io=engine._storage_io
+            )
+            self._bootstrap(restore_dir)
+            return True
+        finally:
+            shutil.rmtree(archive, ignore_errors=True)
+            shutil.rmtree(restore_dir, ignore_errors=True)
+            if scratch is not None:
+                shutil.rmtree(scratch, ignore_errors=True)
+
+    def _fetch_snapshot(self, archive: Path) -> dict[str, Any]:
+        """Stream the primary's snapshot archive into ``archive``,
+        chunk by chunk, verifying every chunk's crc32 and resuming at
+        the failed offset after a disconnect.  The local ``MANIFEST``
+        is written last — its presence marks the copy complete, the
+        same commit-point discipline as :func:`repro.backup.create_backup`."""
+        from repro.backup import write_manifest
+
+        if self._client is None:
+            self._client = self._connect()
+        response = self._client.request(
+            {
+                "op": "repl_snapshot",
+                "replica_id": self.config.replica_id,
+                "epoch": self.state.epoch,
+            }
+        )
+        epoch = response.get("epoch", self.state.epoch)
+        if epoch > self.state.epoch:
+            self.state.adopt_epoch(epoch)
+        manifest = response["manifest"]
+        snapshot_id = response["snapshot_id"]
+        chunk_bytes = int(response.get("chunk_bytes", SNAPSHOT_CHUNK_BYTES))
+        if archive.exists():
+            shutil.rmtree(archive)
+        archive.mkdir(parents=True)
+        root = archive.resolve()
+        for entry in manifest["files"]:
+            target = (archive / entry["name"]).resolve()
+            if not str(target).startswith(str(root) + os.sep):
+                raise ProtocolError(
+                    f"snapshot file name {entry['name']!r} escapes the "
+                    "archive directory"
+                )
+            self._fetch_file(archive, snapshot_id, entry, chunk_bytes)
+        write_manifest(archive, manifest)
+        return manifest
+
+    def _fetch_file(
+        self,
+        archive: Path,
+        snapshot_id: str,
+        entry: dict[str, Any],
+        chunk_bytes: int,
+    ) -> None:
+        """Fetch one archived file.  Each chunk survives up to
+        :data:`SNAPSHOT_CHUNK_RETRIES` consecutive failures (connection
+        drops resume at the same offset; checksum mismatches re-request
+        the chunk) before the whole resync attempt is abandoned."""
+        name = entry["name"]
+        size = int(entry["size"])
+        path = archive / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        buffer = bytearray()
+        failures = 0
+
+        def _retryable(exc: BaseException) -> None:
+            nonlocal failures
+            failures += 1
+            self.last_error = repr(exc)
+            if failures > SNAPSHOT_CHUNK_RETRIES:
+                raise exc
+            self._stop.wait(
+                self.policy.delay(min(failures, self.policy.max_attempts))
+            )
+
+        while True:
+            if self._stop.is_set():
+                raise StorageError("resync interrupted by runner stop")
+            try:
+                if self._client is None:
+                    self._client = self._connect()
+                response = self._client.request(
+                    {
+                        "op": "repl_snapshot",
+                        "snapshot_id": snapshot_id,
+                        "file": name,
+                        "offset": len(buffer),
+                        "length": chunk_bytes,
+                    }
+                )
+            except ServerError as exc:
+                if exc.code == "IO_ERROR":
+                    # Injected repl.snapshot.write error: chunk retry.
+                    self.state.counters["stream_faults"] += 1
+                    _retryable(exc)
+                    continue
+                raise
+            except (ConnectionError, OSError, ProtocolError) as exc:
+                self._close_client()
+                self.state.counters["snapshot_chunks_resumed"] += 1
+                _retryable(exc)
+                continue
+            data = base64.b64decode(
+                (response.get("data") or "").encode("ascii")
+            )
+            mode = FAILPOINTS.hit(SITE_SNAPSHOT_READ)
+            if mode == MODE_CRASH:
+                raise SimulatedCrash(SITE_SNAPSHOT_READ)
+            if mode == MODE_ERROR:
+                self.state.counters["stream_faults"] += 1
+                _retryable(
+                    FaultInjected(
+                        f"injected I/O error at {SITE_SNAPSHOT_READ}"
+                    )
+                )
+                continue
+            if mode == MODE_DELAY:
+                time.sleep(faults.FAULT_DELAY_SECONDS)
+            elif mode == MODE_DISCONNECT:
+                self._close_client()
+                self.state.counters["snapshot_chunks_resumed"] += 1
+                _retryable(
+                    ConnectionResetError(
+                        f"injected disconnect at {SITE_SNAPSHOT_READ}"
+                    )
+                )
+                continue
+            elif mode in (MODE_SHORT_READ, MODE_TORN_WRITE):
+                data = torn_prefix(data)
+            elif mode == MODE_CORRUPT:
+                data = corrupt_bytes(data)
+            if size == 0:
+                break
+            if not data or zlib.crc32(data) != response.get("crc32"):
+                self.state.counters["checksum_failures"] += 1
+                _retryable(
+                    CorruptionError(
+                        f"snapshot chunk for {name!r} at offset "
+                        f"{len(buffer)} failed its checksum"
+                    )
+                )
+                continue
+            buffer += data
+            failures = 0
+            self.state.counters["snapshot_chunks_fetched"] += 1
+            self.state.counters["snapshot_bytes_fetched"] += len(data)
+            self._resync_progress = self.state.clock()
+            if len(buffer) >= size:
+                break
+        if len(buffer) != size or zlib.crc32(bytes(buffer)) != entry["crc32"]:
+            raise CorruptionError(
+                f"fetched snapshot file {name!r} does not match its "
+                "manifest checksum"
+            )
+        path.write_bytes(bytes(buffer))
+
+    def _bootstrap(self, restore_dir: Path) -> None:
+        """Replace this replica's state with the restored snapshot.
+
+        Durable replicas swap their durability directory's WAL and
+        checkpoint for the restored ones *before* reopening: a crash
+        mid-swap leaves a directory that recovers to a prefix of the
+        snapshot (or empty) and simply resyncs again on the next run —
+        never a fork.  In-memory replicas adopt the restored engine's
+        state and drop the scratch directory.
+        """
+        from repro.core.durability import (
+            CHECKPOINT_DIRNAME,
+            CHECKPOINT_OLD_DIRNAME,
+            CHECKPOINT_TMP_DIRNAME,
+            WAL_FILENAME,
+        )
+
+        engine = self.engine
+        durable = engine._durability_dir
+        kwargs = dict(
+            temporal=engine.temporal,
+            model=engine.model,
+            anchor_interval=engine.anchor_policy.interval,
+            gc_interval_transactions=engine._gc_interval,
+            enforce_vt_constraints=engine.enforce_vt_constraints,
+            durability_mode=engine.durability_mode,
+        )
+        from repro.core.engine import AeonG
+
+        if durable is not None:
+            durable = Path(durable)
+            engine.detach_wal()
+            for stale_name in (
+                WAL_FILENAME,
+                CHECKPOINT_DIRNAME,
+                CHECKPOINT_TMP_DIRNAME,
+                CHECKPOINT_OLD_DIRNAME,
+                SNAPSHOT_DIRNAME,
+            ):
+                stale = durable / stale_name
+                if stale.is_dir():
+                    shutil.rmtree(stale)
+                elif stale.exists():
+                    stale.unlink()
+            for item in list(restore_dir.iterdir()):
+                os.replace(item, durable / item.name)
+            donor = AeonG.open(durable, **kwargs)
+            engine.adopt_snapshot_state(donor)
+        else:
+            donor = AeonG.open(restore_dir, **kwargs)
+            engine.adopt_snapshot_state(donor)
+            # The scratch directory is deleted by the caller: stop
+            # journaling into it and stay an in-memory engine.
+            engine.detach_wal()
+            engine._durability_dir = None
 
     def _ingest(self, response: dict[str, Any]) -> None:
         """Verify and apply one fetch response."""
@@ -742,6 +1121,138 @@ def build_fetch_response(
     }
 
 
+# -- snapshot bootstrap (primary side) --------------------------------------
+
+
+def _ensure_snapshot(engine) -> tuple[Any, dict[str, Any]]:
+    """Prepare (or reuse) the snapshot archive served to resyncing
+    replicas, under ``durability_dir/repl-snapshot``.
+
+    Reused while its watermark still meets the WAL truncation fence —
+    a replica bootstrapped from it can rejoin the stream at
+    ``watermark + 1``.  A later checkpoint that truncated past it
+    forces a rebuild.  Raises
+    :class:`~repro.errors.ReplicationResyncRequired` on a primary with
+    no durability directory: such a node has nothing to snapshot, and
+    the replica's runner surfaces the old terminal condition.
+    """
+    from repro.backup import create_backup, read_manifest
+
+    state = engine.replication
+    directory = engine._durability_dir
+    if directory is None or engine._wal is None:
+        raise ReplicationResyncRequired(
+            "this primary has no durability directory and cannot serve "
+            "bootstrap snapshots; reseed the replica from a copy of "
+            "the primary's data"
+        )
+    snapshot = directory / SNAPSHOT_DIRNAME
+    with state.snapshot_lock:
+        manifest: Optional[dict[str, Any]] = None
+        try:
+            manifest = read_manifest(snapshot)
+        except ReproError:
+            manifest = None
+        fence = engine.wal_truncation_fence()
+        if manifest is None or manifest["watermark"] < fence:
+            if snapshot.exists():
+                shutil.rmtree(snapshot)
+            create_backup(
+                directory, snapshot, storage_io=engine._storage_io
+            )
+            manifest = read_manifest(snapshot)
+        return snapshot, manifest
+
+
+def serve_snapshot_request(engine, request: dict) -> dict[str, Any]:
+    """Serve one ``repl_snapshot``: a manifest request (no ``file``
+    key) prepares/reuses the archive and describes it; a chunk request
+    returns up to :data:`SNAPSHOT_CHUNK_BYTES` of one archived file
+    with a per-chunk crc32, so the replica verifies every chunk and
+    resumes at the failed offset after a disconnect.
+
+    The ``repl.snapshot.write`` failpoint fires here per request:
+    ``error`` raises :class:`~repro.errors.FaultInjected` (the replica
+    retries the chunk), ``disconnect`` tears the connection (the
+    replica reconnects and resumes), and ``torn-write``/``corrupt``
+    damage the chunk *after* its checksum is computed, so the
+    replica's verification catches it.
+    """
+    state = engine.replication
+    mode = FAILPOINTS.check(SITE_SNAPSHOT_WRITE)
+    if mode == MODE_DELAY:
+        time.sleep(faults.FAULT_DELAY_SECONDS)
+    elif mode == MODE_DISCONNECT:
+        state.counters["stream_faults"] += 1
+        raise ConnectionResetError(
+            f"injected disconnect at {SITE_SNAPSHOT_WRITE}"
+        )
+    name = request.get("file")
+    if name is None:
+        _snapshot, manifest = _ensure_snapshot(engine)
+        state.counters["snapshots_served"] += 1
+        return {
+            "snapshot_id": f"snap-{manifest['watermark']}",
+            "manifest": manifest,
+            "watermark": state.watermark(),
+            "epoch": state.epoch,
+            "chunk_bytes": SNAPSHOT_CHUNK_BYTES,
+        }
+    from repro.backup import read_manifest
+
+    if engine._durability_dir is None:
+        raise ReplicationResyncRequired(
+            "this primary has no durability directory and cannot serve "
+            "bootstrap snapshots"
+        )
+    snapshot = engine._durability_dir / SNAPSHOT_DIRNAME
+    try:
+        manifest = read_manifest(snapshot)
+    except ReproError as exc:
+        raise StorageError(
+            f"snapshot archive unavailable: {exc}; restart the bootstrap"
+        ) from exc
+    snapshot_id = request.get("snapshot_id")
+    if snapshot_id != f"snap-{manifest['watermark']}":
+        # A newer snapshot replaced the one this replica was streaming:
+        # a non-retryable storage error makes the replica abandon the
+        # attempt and restart with a fresh manifest.
+        raise StorageError(
+            f"snapshot {snapshot_id!r} is no longer available (current "
+            f"is snap-{manifest['watermark']}); restart the bootstrap"
+        )
+    if not isinstance(name, str) or name not in {
+        entry["name"] for entry in manifest["files"]
+    }:
+        # Also the path-traversal guard: only manifest-listed names
+        # are ever opened.
+        raise ProtocolError(f"unknown snapshot file {name!r}")
+    offset = int(request.get("offset", 0))
+    length = int(request.get("length", SNAPSHOT_CHUNK_BYTES))
+    if offset < 0 or length < 1:
+        raise ProtocolError("snapshot chunk offset/length out of range")
+    length = min(length, SNAPSHOT_CHUNK_BYTES)
+    data = (snapshot / name).read_bytes()
+    chunk = data[offset:offset + length]
+    crc = zlib.crc32(chunk)
+    eof = offset + len(chunk) >= len(data)
+    if chunk and mode == MODE_TORN_WRITE:
+        state.counters["stream_faults"] += 1
+        chunk = torn_prefix(chunk)
+    elif chunk and mode == MODE_CORRUPT:
+        chunk = corrupt_bytes(chunk)
+    state.counters["snapshot_chunks_served"] += 1
+    state.counters["snapshot_bytes_shipped"] += len(chunk)
+    return {
+        "file": name,
+        "offset": offset,
+        "data": base64.b64encode(chunk).decode("ascii"),
+        "crc32": crc,
+        "size": len(data),
+        "eof": eof,
+    }
+
+
 def apply_pushed_records(
     engine, epoch: int, records: list[str]
 ) -> dict[str, Any]:
@@ -793,6 +1304,10 @@ def apply_pushed_records(
 __all__ = [
     "SITE_STREAM_READ",
     "SITE_STREAM_WRITE",
+    "SITE_SNAPSHOT_READ",
+    "SITE_SNAPSHOT_WRITE",
+    "SNAPSHOT_DIRNAME",
+    "SNAPSHOT_CHUNK_BYTES",
     "ENVELOPE_VERSION",
     "ReplicationConfig",
     "ReplicationState",
@@ -803,5 +1318,6 @@ __all__ = [
     "pack_records",
     "unpack_record",
     "build_fetch_response",
+    "serve_snapshot_request",
     "apply_pushed_records",
 ]

@@ -171,6 +171,7 @@ class AeonGServer:
             "bytes_out": 0,
             "repl_fetches": 0,
             "repl_applies": 0,
+            "repl_snapshots": 0,
             "not_primary_rejections": 0,
             "metrics_scrapes": 0,
         }
@@ -553,6 +554,8 @@ class AeonGServer:
             return await self._op_repl_fetch(request_id, request)
         if op == "repl_apply":
             return await self._op_repl_apply(request_id, request)
+        if op == "repl_snapshot":
+            return await self._op_repl_snapshot(request_id, request)
         if op == "repl_status":
             return self._op_repl_status(request_id)
         if op == "promote":
@@ -659,6 +662,25 @@ class AeonGServer:
             executor=self._repl_executor,
         )
         self.counters["repl_fetches"] += 1
+        self.counters["requests_served"] += 1
+        return {"ok": True, "id": request_id, **response}
+
+    async def _op_repl_snapshot(self, request_id, request) -> dict[str, Any]:
+        # Not in _DRAIN_OPS on purpose: a drain sheds snapshot traffic
+        # with a retryable SHUTTING_DOWN instead of racing the stream
+        # against shutdown, and the replica resumes at the same offset
+        # against the next primary.
+        from repro.replication import serve_snapshot_request
+
+        self._require_primary_role("repl_snapshot")
+        response = await self._run(
+            "repl.snapshot",
+            serve_snapshot_request,
+            self.engine,
+            request,
+            executor=self._repl_executor,
+        )
+        self.counters["repl_snapshots"] += 1
         self.counters["requests_served"] += 1
         return {"ok": True, "id": request_id, **response}
 

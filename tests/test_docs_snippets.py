@@ -26,7 +26,13 @@ from repro.faults import FAILPOINTS
 pytestmark = pytest.mark.docs
 
 DOCS_DIR = Path(__file__).resolve().parent.parent / "docs"
-DOC_FILES = ["API.md", "OBSERVABILITY.md", "SERVING.md", "REPLICATION.md"]
+DOC_FILES = [
+    "API.md",
+    "OBSERVABILITY.md",
+    "SERVING.md",
+    "REPLICATION.md",
+    "OPERATIONS.md",
+]
 
 _FENCE = re.compile(
     r"^```(?P<lang>[a-zA-Z]*)[ \t]*\n(?P<body>.*?)^```[ \t]*$",

@@ -28,8 +28,20 @@ from repro.kvstore.sstable import SSTable
 # Importing the protocol module registers the server.conn.* socket
 # sites, so the completeness check below sees (and demands) them.
 from repro.server.protocol import SITE_CONN_READ, SITE_CONN_WRITE
-# Likewise the replication module registers the repl.stream.* sites.
-from repro.replication import SITE_STREAM_READ, SITE_STREAM_WRITE
+# Likewise the replication module registers the repl.stream.* and
+# repl.snapshot.* sites, and the backup module registers backup.copy,
+# backup.manifest and restore.replay.
+from repro.backup import (
+    SITE_BACKUP_COPY,
+    SITE_BACKUP_MANIFEST,
+    SITE_RESTORE_REPLAY,
+)
+from repro.replication import (
+    SITE_SNAPSHOT_READ,
+    SITE_SNAPSHOT_WRITE,
+    SITE_STREAM_READ,
+    SITE_STREAM_WRITE,
+)
 
 pytestmark = pytest.mark.fault_matrix
 
@@ -547,6 +559,209 @@ class TestReplicationStreamMatrix:
             primary.close()
 
 
+# -- backup/restore matrix --------------------------------------------------
+
+#: Crash-or-error during archiving and restoring.  The contract: the
+#: destination is either absent or manifest-valid (the staging-dir +
+#: atomic-rename discipline), a crashed run leaves at most removable
+#: ``.tmp`` residue, and a clean rerun succeeds.
+BACKUP_MATRIX = [
+    (SITE_BACKUP_COPY, "crash"),
+    (SITE_BACKUP_COPY, "error"),
+    (SITE_BACKUP_MANIFEST, "crash"),
+    (SITE_BACKUP_MANIFEST, "error"),
+    (SITE_RESTORE_REPLAY, "crash"),
+    (SITE_RESTORE_REPLAY, "error"),
+]
+
+
+class TestBackupCrashMatrix:
+    @staticmethod
+    def _source(tmp_path):
+        db = AeonG.open(tmp_path / "src", gc_interval_transactions=0)
+        for i in range(4):
+            with db.transaction() as txn:
+                db.create_vertex(txn, ["B"], {"i": i})
+        db.checkpoint()
+        with db.transaction() as txn:
+            db.create_vertex(txn, ["B"], {"i": 4})
+        db.close()
+
+    @staticmethod
+    def _assert_absent_or_valid(dest):
+        from repro.backup import verify_backup
+
+        if dest.exists():
+            _manifest, findings = verify_backup(dest)
+            assert findings == [], "torn archive passed for valid"
+
+    @pytest.mark.parametrize("site,mode", BACKUP_MATRIX)
+    def test_destination_absent_or_valid_and_rerun_succeeds(
+        self, tmp_path, site, mode
+    ):
+        from repro.backup import create_backup, restore_backup
+
+        self._source(tmp_path)
+        dest = tmp_path / "arch"
+        target = tmp_path / "restored"
+        if site == SITE_RESTORE_REPLAY:
+            create_backup(tmp_path / "src", dest)
+        FAILPOINTS.activate(site, mode, nth=1, times=None)
+        with pytest.raises((SimulatedCrash, FaultInjected)):
+            if site == SITE_RESTORE_REPLAY:
+                restore_backup(dest, target)
+            else:
+                create_backup(tmp_path / "src", dest)
+        fired = FAILPOINTS.stats(site).fired
+        FAILPOINTS.clear()
+        assert fired >= 1
+        if site == SITE_RESTORE_REPLAY:
+            assert not target.exists(), "half-restored target left behind"
+        else:
+            self._assert_absent_or_valid(dest)
+        # The rerun (over any crash residue) must land cleanly.
+        if site == SITE_RESTORE_REPLAY:
+            restore_backup(dest, target)
+        else:
+            create_backup(tmp_path / "src", dest)
+            restore_backup(dest, target)
+        restored = AeonG.open(target)
+        try:
+            with restored.transaction() as txn:
+                count = sum(
+                    1 for record in restored.storage.iter_vertex_records()
+                    if restored.get_vertex(txn, record.gid) is not None
+                )
+            assert count == 5
+        finally:
+            restored.close()
+
+    @pytest.mark.parametrize("mode", ["torn-write", "corrupt"])
+    def test_silent_archive_damage_is_caught_not_restored(
+        self, tmp_path, mode
+    ):
+        """torn-write/corrupt on backup.copy damage archived bytes
+        *silently* — the manifest checksums (computed from the source
+        bytes) must catch it at verify/restore time."""
+        from repro.backup import create_backup, restore_backup, verify_backup
+        from repro.errors import CorruptionError
+
+        self._source(tmp_path)
+        FAILPOINTS.activate(SITE_BACKUP_COPY, mode, nth=1, times=1)
+        try:
+            create_backup(tmp_path / "src", tmp_path / "arch")
+        except SimulatedCrash:
+            # torn-write through StorageIO is a torn-then-crash; the
+            # staging discipline already covers it above.
+            FAILPOINTS.clear()
+            return
+        FAILPOINTS.clear()
+        _manifest, findings = verify_backup(tmp_path / "arch")
+        assert any(
+            f["code"] in ("checksum-mismatch", "size-mismatch")
+            for f in findings
+        )
+        with pytest.raises(CorruptionError):
+            restore_backup(tmp_path / "arch", tmp_path / "restored")
+
+
+# -- snapshot-bootstrap stream matrix ---------------------------------------
+
+#: Every fault the snapshot chunk stream interprets, at both ends.
+#: ``crash`` is deliberately absent for the same reason as the socket
+#: matrix: a process crash at the wire is ``disconnect`` to the peer,
+#: and real SIGKILL-mid-resync coverage lives in benchmarks/test_backup.py.
+SNAPSHOT_MATRIX = [
+    (SITE_SNAPSHOT_READ, "error"),
+    (SITE_SNAPSHOT_READ, "delay"),
+    (SITE_SNAPSHOT_READ, "disconnect"),
+    (SITE_SNAPSHOT_READ, "short-read"),
+    (SITE_SNAPSHOT_READ, "torn-write"),
+    (SITE_SNAPSHOT_READ, "corrupt"),
+    (SITE_SNAPSHOT_WRITE, "error"),
+    (SITE_SNAPSHOT_WRITE, "delay"),
+    (SITE_SNAPSHOT_WRITE, "disconnect"),
+    (SITE_SNAPSHOT_WRITE, "torn-write"),
+    (SITE_SNAPSHOT_WRITE, "corrupt"),
+]
+
+
+class TestSnapshotStreamMatrix:
+    """The committed-prefix contract across a snapshot bootstrap:
+    under every chunk fault mode, a replica driven into REPL_RESYNC
+    still self-heals — damaged chunks fail their CRC and are
+    re-fetched, disconnects resume at the same offset, and no fault
+    leaves the replica on a forked or partial state."""
+
+    @pytest.mark.parametrize("site,mode", SNAPSHOT_MATRIX)
+    def test_resync_converges_through_fault(self, tmp_path, site, mode):
+        import time
+
+        from repro.core.durability import open_engine
+        from repro.replication import ReplicaRunner, ReplicationConfig
+        from repro.server import Client, ServerThread
+
+        primary = open_engine(
+            tmp_path / "primary", gc_interval_transactions=0
+        )
+        thread = ServerThread(primary)
+        host, port = thread.start()
+        config = ReplicationConfig(
+            role="replica", primary_host=host, primary_port=port,
+            poll_interval=0.02, lease_timeout=60.0, auto_promote=False,
+        )
+        replica = open_engine(
+            tmp_path / "replica", gc_interval_transactions=0,
+            replication=config,
+        )
+        runner = None
+        try:
+            with Client(host, port) as client:
+                for i in range(4):
+                    client.query(
+                        "CREATE (n:S {ext_id: $e})", {"e": f"s{i}"}
+                    )
+            # Truncate past the (never-attached) replica's watermark.
+            primary.checkpoint()
+            with Client(host, port) as client:
+                client.query("CREATE (n:S {ext_id: 'tail'})")
+            assert primary.wal_truncation_fence() > 0
+            FAILPOINTS.activate(site, mode, nth=1, times=2)
+            runner = ReplicaRunner(replica, config)
+            runner.start()
+            deadline = time.monotonic() + 30.0
+            expected = {f"s{i}" for i in range(4)} | {"tail"}
+            while time.monotonic() < deadline:
+                rows = {
+                    r["n.ext_id"]
+                    for r in replica.execute("MATCH (n:S) RETURN n.ext_id")
+                }
+                # The completed-counter is part of the condition: rows
+                # become visible the instant the bootstrap swaps state
+                # in, a beat before the runner books the heal.
+                if (
+                    rows == expected
+                    and replica.replication.watermark()
+                    == primary.replication.watermark()
+                    and replica.replication.counters["resyncs_completed"] >= 1
+                ):
+                    break
+                time.sleep(0.01)
+            fired = FAILPOINTS.stats(site).fired
+            FAILPOINTS.clear()
+            assert fired >= 1, f"site {site} never fired"
+            assert rows == expected
+            assert runner.running, runner.stopped_reason
+            assert replica.replication.counters["resyncs_completed"] >= 1
+        finally:
+            FAILPOINTS.clear()
+            if runner is not None:
+                runner.stop()
+            thread.stop()
+            replica.close()
+            primary.close()
+
+
 # -- coverage completeness --------------------------------------------------
 
 #: Sites whose only sensible exercise is the error mode: they fire on
@@ -566,6 +781,8 @@ def test_matrix_covers_every_registered_site():
         | {site for site, _mode in KV_MATRIX}
         | {site for site, _mode in SOCKET_MATRIX}
         | {site for site, _mode in REPL_MATRIX}
+        | {site for site, _mode in BACKUP_MATRIX}
+        | {site for site, _mode in SNAPSHOT_MATRIX}
         | ERROR_ONLY_SITES
         | BESPOKE_SITES
     )
