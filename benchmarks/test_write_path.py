@@ -1,0 +1,203 @@
+"""Write-path bench — committed-ops/s, seed path vs group commit.
+
+The seed write path paid one WAL append *and one fsync* per commit,
+inside the engine lock.  PR "group commit + async WAL writer" replaces
+it with a batching writer thread: one frame and one shared fsync per
+batch of concurrent committers, acked only after the shared fsync.
+
+This bench measures committed operations per second over a matrix of
+
+- **writers**: 1 / 8 / 16 / 32 concurrent committer threads, and
+- **modes**: ``fsync`` and ``flush`` durability, each with the group
+  writer on (default) and off (``group_commit=False`` — the seed path),
+
+and records, per cell, the fsyncs-per-commit ratio and a PROFILE span
+breakdown (``engine.commit``, ``engine.commit.durable_wait``,
+``wal.group_commit``) showing where commit latency goes.
+
+Asserted shape (the PR's acceptance bar):
+
+- at 16 writers in ``fsync`` mode, group commit delivers at least the
+  required multiple of the seed path's committed-ops/s, and
+- fsyncs-per-commit drops below 1 at high concurrency (the whole point
+  of sharing the fsync).
+
+``benchmarks/results/BENCH_write_path.json`` records the full matrix.
+Set ``BENCH_SMOKE=1`` for the CI-sized run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro import AeonG
+from repro.observability import ObservabilityConfig
+from benchmarks.conftest import RESULTS_DIR, write_report
+
+pytestmark = pytest.mark.write_path
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+WRITERS = (1, 8, 16, 32)
+PER_WRITER = 12 if SMOKE else 40
+#: Acceptance: group commit vs seed path at 16 writers, fsync mode.
+#: The full run reproducibly lands around 2.5x; the smoke run commits
+#: ~7x fewer ops per cell, so its ratio is noisier.
+REQUIRED_SPEEDUP = 1.3 if SMOKE else 2.0
+
+#: (label, durability_mode, group_commit)
+MODES = (
+    ("fsync-seed", "fsync", False),
+    ("fsync-group", "fsync", True),
+    ("flush-seed", "flush", False),
+    ("flush-group", "flush", True),
+)
+
+#: Spans summarized per cell — the commit critical section, the
+#: committer's wait for the shared fsync, and the writer thread's
+#: physical batch write.
+PROFILE_SPANS = ("engine.commit", "engine.commit.durable_wait", "wal.group_commit")
+
+
+def _span_breakdown(tracer) -> dict:
+    breakdown = {}
+    for name in PROFILE_SPANS:
+        spans = tracer.spans(name)
+        if not spans:
+            continue
+        total = sum(span.duration for span in spans)
+        breakdown[name] = {
+            "count": len(spans),
+            "total_s": round(total, 6),
+            "avg_us": round(total / len(spans) * 1e6, 1),
+        }
+    return breakdown
+
+
+def _run_cell(directory, durability_mode: str, group: bool, writers: int) -> dict:
+    db = AeonG.open(
+        directory,
+        durability_mode=durability_mode,
+        group_commit=group,
+        gc_interval_transactions=0,
+        observability=ObservabilityConfig(max_spans=16384),
+    )
+    barrier = threading.Barrier(writers + 1)
+    errors: list[BaseException] = []
+
+    def worker(w: int) -> None:
+        try:
+            barrier.wait()
+            for i in range(PER_WRITER):
+                txn = db.begin()
+                db.create_vertex(txn, ["W"], {"w": w, "i": i})
+                db.commit(txn)
+        except BaseException as exc:  # noqa: BLE001 — reported below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(w,)) for w in range(writers)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    assert not errors, f"commit failed during bench: {errors[0]!r}"
+
+    commits = writers * PER_WRITER
+    wp = db.metrics()["write_path"]
+    cell = {
+        "commits": commits,
+        "elapsed_s": round(elapsed, 4),
+        "ops_per_s": round(commits / elapsed, 1),
+        "fsyncs": wp["fsyncs"],
+        "frames_appended": wp["frames_appended"],
+        "fsyncs_per_commit": wp["fsyncs_per_commit"],
+        "max_batch": wp["max_batch"],
+        "avg_batch": wp["avg_batch"],
+        "backpressure_waits": wp["backpressure_waits"],
+        "spans": _span_breakdown(db.observability.tracer),
+    }
+    db.close()
+    return cell
+
+
+def test_group_commit_write_path(tmp_path):
+    matrix: dict[str, dict[str, dict]] = {}
+    for label, mode, group in MODES:
+        matrix[label] = {}
+        for writers in WRITERS:
+            cell_dir = tmp_path / f"{label}-{writers}"
+            matrix[label][str(writers)] = _run_cell(
+                cell_dir, mode, group, writers
+            )
+
+    seed16 = matrix["fsync-seed"]["16"]
+    group16 = matrix["fsync-group"]["16"]
+    speedup16 = group16["ops_per_s"] / seed16["ops_per_s"]
+
+    # -- the PR's acceptance bar -----------------------------------------
+    assert speedup16 >= REQUIRED_SPEEDUP, (
+        f"group commit at 16 writers delivered only {speedup16:.2f}x over "
+        f"the seed fsync path (need >= {REQUIRED_SPEEDUP}x): "
+        f"{group16['ops_per_s']} vs {seed16['ops_per_s']} ops/s"
+    )
+    # fsyncs-per-commit < 1 at high concurrency: fsyncs are shared.
+    for writers in ("16", "32"):
+        cell = matrix["fsync-group"][writers]
+        assert cell["fsyncs_per_commit"] < 1.0, (
+            f"{writers} writers still paid "
+            f"{cell['fsyncs_per_commit']} fsyncs per commit"
+        )
+        assert cell["max_batch"] >= 2, "no batch ever coalesced"
+    # The seed path is the control: exactly one fsync per commit.
+    for writers in map(str, WRITERS):
+        assert matrix["fsync-seed"][writers]["fsyncs_per_commit"] == 1.0
+    # The span breakdown must cover the commit path and, in group mode,
+    # the durable wait plus the writer thread's batch write.
+    assert "engine.commit" in group16["spans"]
+    assert "engine.commit.durable_wait" in group16["spans"]
+    assert "wal.group_commit" in group16["spans"]
+
+    payload = {
+        "config": {
+            "smoke": SMOKE,
+            "writers": list(WRITERS),
+            "commits_per_writer": PER_WRITER,
+            "required_speedup_16_writers": REQUIRED_SPEEDUP,
+        },
+        "matrix": matrix,
+        "speedup_fsync_16_writers": round(speedup16, 3),
+        "fsyncs_per_commit_fsync_group_16_writers": group16[
+            "fsyncs_per_commit"
+        ],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_write_path.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    lines = [
+        "Write path: committed ops/s (group commit vs seed path)",
+        f"  {'writers':>9} " + "".join(f"{label:>14}" for label, _m, _g in MODES),
+    ]
+    for writers in map(str, WRITERS):
+        row = f"  {writers:>9} "
+        for label, _mode, _group in MODES:
+            row += f"{matrix[label][writers]['ops_per_s']:>14.0f}"
+        lines.append(row)
+    lines += [
+        f"  fsync mode, 16 writers: group = {speedup16:.2f}x seed "
+        f"(need >= {REQUIRED_SPEEDUP}x)",
+        f"  fsyncs/commit at 16 writers: seed = "
+        f"{seed16['fsyncs_per_commit']}, group = "
+        f"{group16['fsyncs_per_commit']}",
+    ]
+    print("\n" + write_report("write_path", lines))

@@ -54,7 +54,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Optional
 
-from repro.common.serde import decode_value
+from repro.common.serde import decode_value, encode_value
 from repro.core.durability import CHECKPOINT_DIRNAME, WAL_FILENAME
 from repro.errors import CorruptionError, StorageError
 from repro.faults import DEFAULT_IO, FAILPOINTS, StorageIO
@@ -176,6 +176,26 @@ def scan_wal_bytes(data: bytes) -> list[tuple[int, list, int, int]]:
             break
         pos = end
     return records
+
+
+def _frame_record(ts: int, ops: list) -> bytes:
+    """Re-frame one logical record as a standalone WAL frame.
+
+    The live log may pack several commits into one group-commit frame,
+    in which case every record returned by :func:`scan_wal_bytes`
+    carries the *whole frame's* byte extent — slicing raw bytes per
+    record would archive (and on restore, replay) a shared frame once
+    per record, and a point-in-time cut could not land between two
+    records of one frame.  Archive segments and restored logs are
+    therefore *record*-granular: each selected record is re-encoded as
+    its own checksummed single-record frame.
+    """
+    from repro.kvstore.wal import _encode_batch
+
+    payload = _encode_batch(
+        [(b"txn", encode_value({"ts": ts, "ops": [list(op) for op in ops]}))]
+    )
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
 
 
 # -- manifest ---------------------------------------------------------------
@@ -495,7 +515,7 @@ def _incremental_backup(
     new_segments = 0
     if new_records:
         blob = b"".join(
-            wal_bytes[start:end] for _ts, _ops, start, end in new_records
+            _frame_record(ts, ops) for ts, ops, _start, _end in new_records
         )
         name = f"{WAL_DIRNAME}/segment-{len(segments) + 1:06d}.wal"
         _copy_into(io, dest, name, blob)
@@ -724,7 +744,7 @@ def restore_backup(
         with open(staging / WAL_FILENAME, "ab") as handle:
             for seg in manifest["segments"]:
                 data = (backup_dir / seg["name"]).read_bytes()
-                for ts, _ops, start, end in scan_wal_bytes(data):
+                for ts, ops, _start, _end in scan_wal_bytes(data):
                     if ts > as_of:
                         beyond += 1
                         continue
@@ -732,10 +752,14 @@ def restore_backup(
                         if ts < fence:
                             in_checkpoint += 1
                         continue
-                    io.append(handle, data[start:end], SITE_RESTORE_REPLAY)
+                    # Record-granular re-framing: see _frame_record —
+                    # a raw byte slice could carry a whole shared
+                    # group-commit frame per record.
+                    frame = _frame_record(ts, ops)
+                    io.append(handle, frame, SITE_RESTORE_REPLAY)
                     emitted = ts
                     replayed += 1
-                    bytes_restored += end - start
+                    bytes_restored += len(frame)
             io.sync(handle, SITE_RESTORE_REPLAY)
     except Exception:
         shutil.rmtree(staging, ignore_errors=True)

@@ -44,19 +44,27 @@ delete vertex/edge, ``vt`` set valid time.
 from __future__ import annotations
 
 import shutil
+import threading
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Optional
 
 from repro.common.serde import decode_value, encode_value
 from repro.errors import CorruptionError, StorageError
-from repro.faults import FAILPOINTS
+from repro.faults import FAILPOINTS, MODE_PARTIAL_FSYNC, MODE_TORN_WRITE
 from repro.kvstore.wal import WalScan, WriteAheadLog
 
 WAL_FILENAME = "engine.wal"
 CHECKPOINT_DIRNAME = "checkpoint"
 CHECKPOINT_TMP_DIRNAME = "checkpoint.tmp"
 CHECKPOINT_OLD_DIRNAME = "checkpoint.old"
+
+#: Batch-level failpoint sites on the group-commit write path: one hit
+#: per *batch* (vs ``engine.wal.append``/``engine.wal.sync``, which fire
+#: per physical frame write / fsync).  A fault here kills a whole
+#: group-commit epoch before any of its commits is acknowledged.
+SITE_GROUP_APPEND = "wal.group.append"
+SITE_GROUP_FSYNC = "wal.group.fsync"
 
 # ``checkpoint.current.write`` / ``checkpoint.meta.write`` live in
 # :mod:`repro.core.persistence`, which is imported lazily; registering
@@ -66,6 +74,8 @@ FAILPOINTS.register(
     "engine.wal.append",
     "engine.wal.sync",
     "engine.wal.truncate",
+    SITE_GROUP_APPEND,
+    SITE_GROUP_FSYNC,
     "checkpoint.current.write",
     "checkpoint.meta.write",
     "checkpoint.retire",
@@ -103,7 +113,22 @@ class RecoveryReport:
 
 
 class EngineWal:
-    """Append-only log of committed transactions."""
+    """Append-only log of committed transactions.
+
+    One physical WAL frame holds one *or more* logical transaction
+    records: the single-commit path writes one record per frame, while
+    the group-commit path (:meth:`append_batch`) packs a whole epoch of
+    concurrent commits into one frame — one append, one fsync, shared
+    by every commit in the batch.  Because a frame is the unit of the
+    framing checksum, a crash mid-batch tears the *whole* frame, and
+    none of its commits was acknowledged (acks wait for the shared
+    fsync) — recovery discards the torn frame and lands exactly on the
+    acked prefix.
+
+    Thread-safe: the async group-commit writer, the replication apply
+    path, checkpoint truncation, and catch-up scans serialize on an
+    internal lock.
+    """
 
     def __init__(
         self, directory: Path, durability_mode: str = "flush"
@@ -115,7 +140,12 @@ class EngineWal:
             durability_mode=durability_mode,
             site_prefix="engine.wal",
         )
+        self._lock = threading.RLock()
         self.records_appended = 0
+        #: group-commit accounting: physical frames written / fsyncs
+        #: issued (telemetry for the ``write_path`` metrics section)
+        self.frames_appended = 0
+        self.fsyncs = 0
 
     @property
     def durability_mode(self) -> str:
@@ -123,31 +153,65 @@ class EngineWal:
 
     def append(self, commit_ts: int, journal: list[tuple]) -> None:
         """Durably record one committed transaction."""
-        payload = encode_value(
-            {"ts": commit_ts, "ops": [list(op) for op in journal]}
-        )
-        self._wal.append([(b"txn", payload)])
-        self.records_appended += 1
+        self.append_batch([(commit_ts, journal)])
 
-    def scan(self, strict: bool = False) -> tuple[list, WalScan]:
-        """Parse the log into ``[(commit_ts, ops), ...]`` plus the raw
-        :class:`~repro.kvstore.wal.WalScan`.
+    def append_batch(self, records: list[tuple[int, list[tuple]]]) -> None:
+        """Durably record a whole group-commit batch in one frame.
 
-        A record whose framing checksum passes but whose payload fails
-        to decode is *corruption*, not a torn tail (torn writes cannot
-        produce a valid checksum): ``strict=True`` raises
-        :class:`CorruptionError`, otherwise replay stops there and the
-        scan is flagged.
+        ``records`` is ``[(commit_ts, ops), ...]`` in commit-timestamp
+        order.  The batch is encoded into a single checksummed WAL
+        frame, appended once, and (in ``"fsync"`` mode) synced once —
+        the group-commit amortization.  Two batch-level failpoint
+        sites, ``wal.group.append`` and ``wal.group.fsync``, fire once
+        per batch on top of the physical ``engine.wal.append`` /
+        ``engine.wal.sync`` sites, so tests can kill a whole epoch
+        mid-write (torn batch frame) or mid-sync (half-lost OS buffer).
         """
-        scan = self._wal.scan(strict=strict)
-        records = []
+        if not records:
+            return
+        ops = [
+            (
+                b"txn",
+                encode_value(
+                    {"ts": ts, "ops": [list(op) for op in journal]}
+                ),
+            )
+            for ts, journal in records
+        ]
+        with self._lock:
+            mode = FAILPOINTS.check(SITE_GROUP_APPEND)
+            if mode == MODE_TORN_WRITE:
+                self._wal.append_torn(ops, SITE_GROUP_APPEND)
+            self._wal.append(ops, sync=False)
+            self.frames_appended += 1
+            if self._wal.fsync_enabled:
+                mode = FAILPOINTS.check(SITE_GROUP_FSYNC)
+                if mode == MODE_PARTIAL_FSYNC:
+                    self._wal.simulate_partial_fsync(SITE_GROUP_FSYNC)
+                self._wal.sync()
+                self.fsyncs += 1
+            self.records_appended += len(records)
+
+    def _scan_frames(
+        self, strict: bool = False
+    ) -> tuple[list[list[tuple[int, list[tuple]]]], WalScan]:
+        """Parse the log into per-frame record lists plus the raw scan.
+
+        Frames are the unit of checksumming and truncation; each inner
+        list holds that frame's ``(commit_ts, ops)`` records (more than
+        one for a group-commit batch).
+        """
+        with self._lock:
+            scan = self._wal.scan(strict=strict)
+        frames: list[list[tuple[int, list[tuple]]]] = []
         for index, batch in enumerate(scan.batches):
             try:
+                frame = []
                 for _key, payload in batch:
                     if payload is None:
                         continue
                     record = decode_value(payload)
-                    records.append(
+                    frame.append(
                         (record["ts"], [tuple(op) for op in record["ops"]])
                     )
             except Exception as exc:
@@ -159,8 +223,23 @@ class EngineWal:
                 scan.corruption = True
                 # Everything from the damaged record on is untrusted.
                 del scan.batches[index:]
+                del scan.extents[index:]
                 break
-        return records, scan
+            frames.append(frame)
+        return frames, scan
+
+    def scan(self, strict: bool = False) -> tuple[list, WalScan]:
+        """Parse the log into ``[(commit_ts, ops), ...]`` plus the raw
+        :class:`~repro.kvstore.wal.WalScan`.
+
+        A record whose framing checksum passes but whose payload fails
+        to decode is *corruption*, not a torn tail (torn writes cannot
+        produce a valid checksum): ``strict=True`` raises
+        :class:`CorruptionError`, otherwise replay stops there and the
+        scan is flagged.
+        """
+        frames, scan = self._scan_frames(strict=strict)
+        return [record for frame in frames for record in frame], scan
 
     def replay(self, strict: bool = False):
         """Yield ``(commit_ts, ops)`` in commit order; stops at a torn
@@ -170,18 +249,22 @@ class EngineWal:
 
     def repair(self) -> bool:
         """Crash-safely drop a damaged tail found by the last scan."""
-        return self._wal.repair()
+        with self._lock:
+            return self._wal.repair()
 
     def records_with_extents(
         self, strict: bool = False
     ) -> list[tuple[int, list[tuple], int, int]]:
         """``[(commit_ts, ops, start_byte, end_byte), ...]`` — the log
         with each record's byte extent, for fence-aligned truncation
-        and replication catch-up scans."""
-        records, scan = self.scan(strict=strict)
+        and replication catch-up scans.  Records packed into one
+        group-commit frame share that frame's extent (the frame is the
+        smallest truncatable unit)."""
+        frames, scan = self._scan_frames(strict=strict)
         return [
             (ts, ops, start, end)
-            for (ts, ops), (start, end) in zip(records, scan.extents)
+            for frame, (start, end) in zip(frames, scan.extents)
+            for ts, ops in frame
         ]
 
     def records_from(self, from_ts: int) -> list[tuple[int, list[tuple]]]:
@@ -195,31 +278,40 @@ class EngineWal:
         ]
 
     def truncate(self) -> None:
-        self._wal.truncate()
+        with self._lock:
+            self._wal.truncate()
 
     def truncate_keep_from(self, retain_ts: int) -> tuple[int, int]:
         """Drop every record with ``commit_ts < retain_ts``; keep the rest.
 
         The replication-fenced half of checkpoint truncation: a plain
         :meth:`truncate` would discard records a registered replica has
-        not acknowledged yet.  Returns ``(records_dropped,
-        highest_dropped_ts)`` — the latter is the new truncation fence.
+        not acknowledged yet.  Truncation is *frame-aligned*: a
+        group-commit frame is dropped only when every record in it is
+        below ``retain_ts`` (keeping an already-acknowledged record is
+        harmless — replay and replication both dedupe below their
+        fences; dropping an unacknowledged one would strand the
+        replica).  Returns ``(records_dropped, highest_dropped_ts)`` —
+        the latter is the new truncation fence.
         """
-        drop_bytes = 0
-        dropped = 0
-        fence = 0
-        for ts, _ops, _start, end in self.records_with_extents():
-            if ts >= retain_ts:
-                break
-            drop_bytes = end
-            dropped += 1
-            fence = max(fence, ts)
-        if drop_bytes:
-            self._wal.drop_prefix(drop_bytes)
-        return dropped, fence
+        with self._lock:
+            frames, scan = self._scan_frames()
+            drop_bytes = 0
+            dropped = 0
+            fence = 0
+            for frame, (_start, end) in zip(frames, scan.extents):
+                if any(ts >= retain_ts for ts, _ops in frame):
+                    break
+                drop_bytes = end
+                dropped += len(frame)
+                fence = max([fence] + [ts for ts, _ops in frame])
+            if drop_bytes:
+                self._wal.drop_prefix(drop_bytes)
+            return dropped, fence
 
     def close(self) -> None:
-        self._wal.close()
+        with self._lock:
+            self._wal.close()
 
 
 def replay_into(engine, wal: EngineWal, min_commit_ts: int = 0,

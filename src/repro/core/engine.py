@@ -102,6 +102,18 @@ class AeonG:
         ``"fsync"`` syncs every WAL append and checkpoint file to the
         device before acknowledging; ``"flush"`` (default) stops at the
         OS buffer — fast, surviving process death but not power loss.
+    group_commit:
+        Route commits through the asynchronous group-commit writer
+        (:mod:`repro.core.write_path`): concurrent committers share one
+        WAL frame and one fsync per batch, and the engine lock is never
+        held across durability I/O.  ``False`` restores the legacy
+        synchronous one-commit-one-fsync path (the benchmark baseline).
+        Only meaningful with ``durability_dir``.
+    migration_workers:
+        Worker threads for the migration epoch's delta *encoding* fan
+        out (``merge_transaction_deltas`` per transaction); 0 (default)
+        encodes serially on the GC thread.  Install order is always
+        commit-timestamp order regardless of worker count.
     resilience:
         A :class:`~repro.resilience.ResilienceConfig` tuning conflict
         retry, transaction deadlines (``max_transaction_age`` and the
@@ -129,6 +141,8 @@ class AeonG:
         reconstruction_cache_size: int = 4096,
         durability_dir=None,
         durability_mode: str = "flush",
+        group_commit: bool = True,
+        migration_workers: int = 0,
         resilience: Optional[ResilienceConfig] = None,
         observability: Optional[ObservabilityConfig] = None,
         replication: Optional[ReplicationConfig] = None,
@@ -139,6 +153,7 @@ class AeonG:
         self.model = model
         self.enforce_vt_constraints = enforce_vt_constraints
         self.durability_mode = durability_mode
+        self.group_commit = group_commit
         self._storage_io = StorageIO(durability_mode)
         self.resilience = ResilienceController(resilience)
         self.storage = GraphStorage()
@@ -155,7 +170,12 @@ class AeonG:
         self.history.tracer = self.observability.tracer
         self.history.kv.tracer = self.observability.tracer
         self.anchor_policy = AnchorPolicy(anchor_interval)
-        self.migrator = Migrator(self.storage, self.history, self.anchor_policy)
+        self.migrator = Migrator(
+            self.storage,
+            self.history,
+            self.anchor_policy,
+            workers=migration_workers,
+        )
         self.gc = GarbageCollector(
             self.manager,
             migrate_hook=self._migrate_guarded if temporal else None,
@@ -190,6 +210,9 @@ class AeonG:
         # transaction nor close the WAL under an acknowledged append.
         self._close_lock = threading.Lock()
         self._wal = None
+        #: The async group-commit writer (None when durability is off
+        #: or ``group_commit=False`` — commits then append inline).
+        self._wal_writer = None
         self._durability_dir = None
         #: RecoveryReport from :meth:`open`, None for a fresh engine.
         self.last_recovery = None
@@ -264,12 +287,26 @@ class AeonG:
         return txn
 
     def commit(self, txn: Transaction) -> int:
-        """Commit; returns the commit timestamp (= the new TT.st)."""
+        """Commit; returns the commit timestamp (= the new TT.st).
+
+        With the group-commit writer attached (``group_commit=True``
+        and durability enabled), the close lock covers only the MVCC
+        commit and the *enqueue* of the journal record — never the WAL
+        append or fsync.  Durability I/O happens on the writer thread,
+        shared across whatever batch of commits has accumulated, and
+        this call blocks outside the lock on its batch ticket until the
+        shared fsync lands — concurrent readers and committers proceed
+        while a slow device syncs, yet the acknowledgement-after-
+        durable contract is unchanged.
+        """
         with self.observability.tracer.span("engine.commit"):
+            ticket = None
             # The close lock makes commit-vs-close atomic: either the
-            # commit (including its WAL append) completes before the
-            # WAL closes, or the transaction is cleanly aborted — never
-            # an acknowledged commit whose journal record was lost.
+            # commit (including its WAL submission) completes before
+            # the WAL closes, or the transaction is cleanly aborted —
+            # never an acknowledged commit whose journal record was
+            # lost.  Enqueueing under the lock also makes queue order
+            # identical to commit-timestamp order.
             with self._close_lock:
                 if self._closed:
                     if txn.is_active:
@@ -278,10 +315,26 @@ class AeonG:
                         "engine is closed; transaction aborted, not committed"
                     )
                 commit_ts = self.manager.commit(txn)
-                if self._wal is not None and txn.journal:
-                    self._wal.append(commit_ts, txn.journal)
                 if txn.journal:
-                    self.replication.note_commit(commit_ts, list(txn.journal))
+                    if self._wal_writer is not None:
+                        ticket = self._wal_writer.submit(
+                            commit_ts, list(txn.journal)
+                        )
+                    else:
+                        # Legacy synchronous path: append + fsync inline
+                        # (and publish to replication ourselves — with a
+                        # writer, the writer does both post-fsync).
+                        if self._wal is not None:
+                            self._wal.append(commit_ts, txn.journal)
+                        self.replication.note_commit(
+                            commit_ts, list(txn.journal)
+                        )
+            if ticket is not None:
+                # Block for the batch's shared append+fsync *outside*
+                # the close lock; writer-side failures (including
+                # injected crashes) re-raise here, before any ack.
+                with self.observability.tracer.span("engine.commit.durable_wait"):
+                    ticket.wait()
         repl = self.replication
         if (
             txn.journal
@@ -900,8 +953,37 @@ class AeonG:
 
         kv_stats = self.history.kv.stats
         wal = self._wal
+        writer = self._wal_writer
         gc_thread = self._gc_thread
         scrub_thread = self._scrub_thread
+        if writer is not None:
+            write_path = writer.metrics()
+        else:
+            write_path = {
+                "enabled": False,
+                "commits_submitted": 0,
+                "batches_written": 0,
+                "records_written": 0,
+                "max_batch": 0,
+                "avg_batch": 0.0,
+                "queue_depth": 0,
+                "queue_limit": 0,
+                "backpressure_waits": 0,
+                "batch_errors": 0,
+            }
+        records = wal.records_appended if wal is not None else 0
+        fsyncs = wal.fsyncs if wal is not None else 0
+        write_path.update(
+            {
+                "frames_appended": (
+                    wal.frames_appended if wal is not None else 0
+                ),
+                "fsyncs": fsyncs,
+                "fsyncs_per_commit": (
+                    round(fsyncs / records, 4) if records else 0.0
+                ),
+            }
+        )
         return {
             "transactions": {
                 "active": self.manager.active_count,
@@ -920,6 +1002,8 @@ class AeonG:
             },
             "migration": {
                 "epochs": self.migrator.migrations,
+                "parallel_epochs": self.migrator.parallel_epochs,
+                "workers": self.migrator.workers,
                 "failed_epochs": self.migrator.failed_epochs,
                 "transactions_migrated": self.migrator.transactions_migrated,
                 "records_written": self.history.records_written,
@@ -961,6 +1045,7 @@ class AeonG:
                 "records": (wal.records_appended if wal is not None else 0),
                 "durability_mode": self.durability_mode,
             },
+            "write_path": write_path,
             "replication": self.replication.metrics(),
             "backup": backup_module.backup_metrics(),
             "restore": backup_module.restore_metrics(),
@@ -1012,11 +1097,24 @@ class AeonG:
     # -- durability (write-ahead log) --------------------------------------------
 
     def attach_wal(self, directory, wal) -> None:
-        """Start journaling committed transactions to ``wal``."""
+        """Start journaling committed transactions to ``wal``.
+
+        With ``group_commit=True`` this also starts the async
+        group-commit writer thread; commits from here on are batched.
+        """
         from pathlib import Path
 
         self._durability_dir = Path(directory)
         self._wal = wal
+        if self.group_commit:
+            from repro.core.write_path import GroupCommitWriter
+
+            self._wal_writer = GroupCommitWriter(
+                wal,
+                replication=self.replication,
+                tracer=self.observability.tracer,
+                queue_limit=self.resilience.config.wal_queue_limit,
+            )
 
     def detach_wal(self) -> None:
         """Stop journaling and close the WAL, keeping the engine open.
@@ -1027,7 +1125,11 @@ class AeonG:
         is still this engine's home."""
         with self._close_lock:
             wal = self._wal
+            writer = self._wal_writer
             self._wal = None
+            self._wal_writer = None
+        if writer is not None:
+            writer.stop()  # drains: every submitted record is persisted
         if wal is not None:
             wal.close()
 
@@ -1095,6 +1197,15 @@ class AeonG:
             if self._closed:
                 raise StorageError("engine is closed")
             old_wal = self._wal
+            old_writer = self._wal_writer
+            self._wal_writer = None
+            # The donor's writer targets the donor's replication state;
+            # stop it (its queue is empty — the donor never served
+            # commits) and run a fresh one bound to this engine.
+            donor_writer = donor._wal_writer
+            donor._wal_writer = None
+            if donor_writer is not None:
+                donor_writer.stop()
             self.storage = donor.storage
             self.manager = donor.manager
             self.history = donor.history
@@ -1127,6 +1238,17 @@ class AeonG:
             # Neutralize the donor shell: its components live here now.
             donor._wal = None
             donor._closed = True
+            if self._wal is not None and self.group_commit:
+                from repro.core.write_path import GroupCommitWriter
+
+                self._wal_writer = GroupCommitWriter(
+                    self._wal,
+                    replication=self.replication,
+                    tracer=self.observability.tracer,
+                    queue_limit=self.resilience.config.wal_queue_limit,
+                )
+        if old_writer is not None:
+            old_writer.stop()
         if old_wal is not None:
             old_wal.close()
         self.replication.reset_after_bootstrap()
@@ -1176,6 +1298,11 @@ class AeonG:
 
         if self._wal is None or self._durability_dir is None:
             raise StorageError("checkpoint requires durability_dir")
+        writer = self._wal_writer
+        if writer is not None:
+            # Quiesce the async write path: every acknowledged commit
+            # must be in the WAL before the snapshot that supersedes it.
+            writer.flush()
         primary = self._durability_dir / CHECKPOINT_DIRNAME
         tmp = self._durability_dir / CHECKPOINT_TMP_DIRNAME
         old = self._durability_dir / CHECKPOINT_OLD_DIRNAME
@@ -1236,14 +1363,22 @@ class AeonG:
         self.stop_background_gc()
         self._stop_watchdog()
         # Flip the flag and detach the WAL under the close lock: an
-        # in-flight commit either finishes its append first (we wait
-        # for the lock) or observes the closed flag and aborts cleanly.
+        # in-flight commit either finishes its submission first (we
+        # wait for the lock) or observes the closed flag and aborts
+        # cleanly.  The writer is stopped *before* the WAL closes —
+        # stop() drains the queue, so every record a committer is still
+        # waiting on gets durably written and acknowledged.
         with self._close_lock:
             self._closed = True
             wal = self._wal
+            writer = self._wal_writer
             self._wal = None
+            self._wal_writer = None
+        if writer is not None:
+            writer.stop()
         if wal is not None:
             wal.close()
+        self.migrator.close()
 
     # -- persistence ----------------------------------------------------------------
 

@@ -5,10 +5,18 @@ are no longer visible to any snapshot.  Each transaction's undo buffer
 is merged into history records (``encode2KV``), anchors are interleaved
 per the anchor policy, and the whole epoch is installed with one atomic
 batch write (``putMultiples``).
+
+Delta *encoding* (``merge_transaction_deltas``) is a pure function of
+one transaction's undo buffer, so with ``workers > 0`` the epoch fans
+the encoding out over a thread pool; everything stateful — anchor
+cadence, validity frontiers, staging, the atomic install — still runs
+serially in commit-timestamp order, so a parallel epoch is
+byte-identical to a serial one.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 from repro.core.anchors import AnchorPolicy, historical_state
@@ -32,13 +40,22 @@ class Migrator:
         storage: GraphStorage,
         history: HistoricalStore,
         anchor_policy: Optional[AnchorPolicy] = None,
+        workers: int = 0,
     ) -> None:
         self.storage = storage
         self.history = history
         self.anchor_policy = (
             anchor_policy if anchor_policy is not None else AnchorPolicy()
         )
+        #: worker threads for the encoding fan-out; 0 = serial.  The
+        #: pool is created lazily on the first epoch large enough to
+        #: benefit and reused across epochs.
+        self.workers = max(0, workers)
+        self._pool = None
+        self._pool_lock = threading.Lock()
         self.migrations = 0
+        #: epochs whose encoding ran on the worker pool
+        self.parallel_epochs = 0
         self.transactions_migrated = 0
         #: epochs whose atomic install failed and was rolled back (the
         #: transactions were requeued by the GC; nothing was lost)
@@ -81,12 +98,9 @@ class Migrator:
         anchor_state_before = self.anchor_policy.snapshot()
         touched: set[tuple[str, int]] = set()
         try:
-            for txn in ordered:
-                deltas = [delta for _record, delta in txn.undo_buffer]
-                if not deltas:
+            for txn, drafts in self._encode_epoch(ordered):
+                if not drafts:
                     continue
-                edge_statics = self._edge_statics(txn)
-                drafts = merge_transaction_deltas(deltas, edge_statics)
                 anchored: set[tuple[str, int]] = set()
                 for draft in drafts:
                     self.history.stage_record(batch, draft)
@@ -122,6 +136,67 @@ class Migrator:
             for object_kind, gid in sorted(touched):
                 self.on_migrated(object_kind, gid)
         return staged
+
+    def _encode_epoch(
+        self, ordered: list[Transaction]
+    ) -> list[tuple[Transaction, list[RecordDraft]]]:
+        """Encode every transaction's deltas, returning commit order.
+
+        The pure ``merge_transaction_deltas`` step is the epoch's CPU
+        cost; with workers it fans out over the pool, but the returned
+        list is always in ``ordered``'s (commit-timestamp) order, so
+        the staging/install phase is identical either way.  A
+        transaction with an empty undo buffer maps to ``[]``.
+        """
+        jobs = []
+        for txn in ordered:
+            deltas = [delta for _record, delta in txn.undo_buffer]
+            jobs.append(
+                (txn, deltas, self._edge_statics(txn) if deltas else {})
+            )
+        nonempty = sum(1 for _txn, deltas, _statics in jobs if deltas)
+        if self.workers > 0 and nonempty > 1:
+            pool = self._ensure_pool()
+            drafts_list = list(
+                pool.map(
+                    lambda job: (
+                        merge_transaction_deltas(job[1], job[2])
+                        if job[1]
+                        else []
+                    ),
+                    jobs,
+                )
+            )
+            self.parallel_epochs += 1
+        else:
+            drafts_list = [
+                merge_transaction_deltas(deltas, statics) if deltas else []
+                for _txn, deltas, statics in jobs
+            ]
+        return [
+            (txn, drafts)
+            for (txn, _deltas, _statics), drafts in zip(jobs, drafts_list)
+        ]
+
+    def _ensure_pool(self):
+        with self._pool_lock:
+            if self._pool is None:
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="aeong-migrate",
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the encoding pool (idempotent; a later epoch would
+        lazily recreate it)."""
+        with self._pool_lock:
+            pool = self._pool
+            self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def forget_object(self, object_kind: str, gid: int) -> None:
         """Drop per-object migration state (after final reclamation)."""

@@ -1,0 +1,254 @@
+"""Group commit: the engine's asynchronous, batching WAL write path.
+
+The seed write path did one WAL append *and one fsync* per commit,
+inside the engine's close lock — so N concurrent committers paid N
+device syncs and serialized the slowest I/O in the hottest critical
+section.  This module replaces that with the classic group-commit
+design (the same shape as PostgreSQL's commit_delay path and RocksDB's
+write group):
+
+* Committers **enqueue** their journal record on a bounded queue while
+  holding the close lock (so queue order is commit-timestamp order),
+  then release the lock and block on a per-commit
+  :class:`CommitTicket`.
+* A single daemon **writer thread** drains whatever has accumulated,
+  packs the whole batch into **one WAL frame**, appends once, fsyncs
+  once, publishes the batch to replication in commit-ts order, and
+  only then completes every ticket in the batch.
+* A commit is **acknowledged only after the shared fsync** — exactly
+  the ``durability_mode="fsync"`` contract of the per-commit path, at
+  a fraction of the fsync count: at high concurrency fsyncs-per-commit
+  drops well below 1.
+
+Backpressure: :meth:`GroupCommitWriter.submit` blocks while the queue
+holds ``wal_queue_limit`` records.  The blocked committer still holds
+its :class:`~repro.resilience.AdmissionGate` slot, so sustained WAL
+pressure fills the gate and *new* transactions are shed with
+``OverloadError`` — bounded memory, no silent unbounded queueing.
+
+Failure semantics: any exception the writer hits while persisting a
+batch (including injected :class:`~repro.faults.SimulatedCrash` /
+:class:`~repro.faults.FaultInjected` at the ``wal.group.*`` sites) is
+delivered to **every ticket in that batch** — none of those commits is
+acknowledged, and recovery lands on the acked prefix.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+__all__ = ["CommitTicket", "GroupCommitWriter"]
+
+
+class CommitTicket:
+    """One committer's claim on a group-commit batch.
+
+    ``wait()`` blocks until the writer thread has durably persisted the
+    batch containing this commit, re-raising whatever the writer hit —
+    including ``BaseException`` subclasses such as
+    :class:`~repro.faults.SimulatedCrash`, which must propagate to the
+    committer exactly as a synchronous append would have raised it.
+    """
+
+    __slots__ = ("commit_ts", "journal", "_done", "error")
+
+    def __init__(self, commit_ts: int, journal: list) -> None:
+        self.commit_ts = commit_ts
+        self.journal = journal
+        self._done = threading.Event()
+        self.error: Optional[BaseException] = None
+
+    def complete(self, error: Optional[BaseException] = None) -> None:
+        self.error = error
+        self._done.set()
+
+    def wait(self, timeout: Optional[float] = None) -> None:
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"commit {self.commit_ts} not durable within {timeout}s"
+            )
+        if self.error is not None:
+            raise self.error
+
+
+class GroupCommitWriter:
+    """The async WAL writer: one thread, one frame and one fsync per
+    batch of concurrent commits.
+
+    Parameters
+    ----------
+    wal:
+        An :class:`~repro.core.durability.EngineWal`; each drained
+        batch goes through its :meth:`append_batch`.
+    replication:
+        A :class:`~repro.replication.ReplicationState`; durable batches
+        are published via ``note_commit_batch`` *after* the fsync and
+        in commit-ts order, so replicas only ever see acked records.
+    tracer:
+        The engine's span tracer; each physical batch write is timed
+        under the ``wal.group_commit`` span (visible in PROFILE and
+        ``metrics_text()`` histograms).
+    queue_limit:
+        ``ResilienceConfig.wal_queue_limit`` — submissions block while
+        this many records are pending.
+    """
+
+    def __init__(
+        self, wal, replication=None, tracer=None, queue_limit: int = 1024
+    ) -> None:
+        self.wal = wal
+        self.replication = replication
+        self.tracer = tracer
+        self.queue_limit = max(1, queue_limit)
+        self._cond = threading.Condition()
+        self._pending: list[CommitTicket] = []
+        self._writing = False
+        self._stopping = False
+        #: Set to the fatal exception once a batch dies on a
+        #: ``BaseException`` that is not an ``Exception`` (e.g. an
+        #: injected :class:`~repro.faults.SimulatedCrash`): the
+        #: "process" is dead, and nothing may be appended past the
+        #: crash point — later submissions fail with the same crash
+        #: instead of writing after a torn frame.
+        self._dead: Optional[BaseException] = None
+        # -- telemetry (metrics()["write_path"]) --
+        self.commits_submitted = 0
+        self.batches_written = 0
+        self.records_written = 0
+        self.max_batch = 0
+        self.backpressure_waits = 0
+        self.batch_errors = 0
+        self._thread = threading.Thread(
+            target=self._run, name="aeong-wal-writer", daemon=True
+        )
+        self._thread.start()
+
+    # -- producer side ---------------------------------------------------
+
+    def submit(self, commit_ts: int, journal: list) -> CommitTicket:
+        """Enqueue one committed transaction's journal for the next
+        batch; returns the ticket to wait on.
+
+        Called with the engine's close lock held, which is what makes
+        queue order identical to commit-timestamp order.  Blocks (still
+        holding that lock — deliberate backpressure, see module
+        docstring) while the queue is at ``queue_limit``.
+        """
+        ticket = CommitTicket(commit_ts, journal)
+        with self._cond:
+            if self._dead is not None:
+                raise self._dead
+            if self._stopping:
+                raise RuntimeError("group-commit writer is stopped")
+            while len(self._pending) >= self.queue_limit:
+                self.backpressure_waits += 1
+                self._cond.wait()
+                if self._dead is not None:
+                    raise self._dead
+                if self._stopping:
+                    raise RuntimeError("group-commit writer is stopped")
+            self._pending.append(ticket)
+            self.commits_submitted += 1
+            self._cond.notify_all()
+        return ticket
+
+    def flush(self, timeout: Optional[float] = None) -> None:
+        """Barrier: block until everything submitted so far has been
+        persisted (or failed).  Used by checkpoint/close to quiesce the
+        write path before touching the WAL underneath it."""
+        with self._cond:
+            if not self._cond.wait_for(
+                lambda: not self._pending and not self._writing, timeout
+            ):
+                raise TimeoutError("group-commit writer did not drain")
+
+    def stop(self) -> None:
+        """Drain the queue and join the writer thread (idempotent).
+
+        Everything already submitted is still persisted — a committer
+        blocked on its ticket gets a normal acknowledgement — but new
+        submissions are refused.
+        """
+        with self._cond:
+            if self._stopping:
+                thread = None
+            else:
+                self._stopping = True
+                thread = self._thread
+            self._cond.notify_all()
+        if thread is not None:
+            thread.join()
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    def metrics(self) -> dict:
+        batches = self.batches_written
+        return {
+            "enabled": True,
+            "commits_submitted": self.commits_submitted,
+            "batches_written": batches,
+            "records_written": self.records_written,
+            "max_batch": self.max_batch,
+            "avg_batch": (
+                round(self.records_written / batches, 3) if batches else 0.0
+            ),
+            "queue_depth": self.queue_depth,
+            "queue_limit": self.queue_limit,
+            "backpressure_waits": self.backpressure_waits,
+            "batch_errors": self.batch_errors,
+        }
+
+    # -- writer thread ---------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._stopping:
+                    self._cond.wait()
+                if not self._pending and self._stopping:
+                    return
+                batch = self._pending
+                self._pending = []
+                self._writing = True
+                # Wake any committer blocked on a full queue.
+                self._cond.notify_all()
+            error: Optional[BaseException] = self._dead
+            if error is None:
+                try:
+                    self._persist(batch)
+                except BaseException as exc:  # noqa: BLE001 — delivered per ticket
+                    error = exc
+                    if not isinstance(exc, Exception):
+                        # A simulated crash killed the "process": never
+                        # append past the crash point (a later write
+                        # would turn the torn tail into interior
+                        # corruption, which recovery rightly refuses to
+                        # repair silently).
+                        self._dead = exc
+            if error is not None:
+                self.batch_errors += 1
+            with self._cond:
+                self._writing = False
+                self._cond.notify_all()
+            for ticket in batch:
+                ticket.complete(error)
+
+    def _persist(self, batch: list[CommitTicket]) -> None:
+        records = [(t.commit_ts, t.journal) for t in batch]
+        if self.tracer is not None:
+            with self.tracer.span("wal.group_commit"):
+                self.wal.append_batch(records)
+        else:
+            self.wal.append_batch(records)
+        self.batches_written += 1
+        self.records_written += len(records)
+        self.max_batch = max(self.max_batch, len(records))
+        if self.replication is not None:
+            # Only after the shared fsync: replicas must never apply a
+            # record the primary could still lose.
+            self.replication.note_commit_batch(
+                [(ts, list(journal)) for ts, journal in records]
+            )

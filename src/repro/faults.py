@@ -46,7 +46,10 @@ the framing helpers in :mod:`repro.server.protocol` at the
 
 ``delay``
     The I/O completes, but only after :data:`FAULT_DELAY_SECONDS` of
-    injected latency — a congested or GC-pausing peer.
+    injected latency — a congested or GC-pausing peer.  Also honoured
+    by :meth:`StorageIO.append` / :meth:`StorageIO.sync`, where it
+    models a slow device (used to prove durability I/O stays outside
+    the engine's commit critical section).
 ``disconnect``
     The connection is torn down abruptly before the I/O happens
     (``ConnectionResetError``) — a peer crash or middlebox reset.
@@ -82,6 +85,7 @@ from __future__ import annotations
 import io as io_module
 import os
 import threading
+import time
 import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -373,6 +377,8 @@ class StorageIO:
             raise SimulatedCrash(site)
         if mode == MODE_CORRUPT:
             data = corrupt_bytes(data)  # silent bit rot: no exception
+        if mode == MODE_DELAY:
+            time.sleep(FAULT_DELAY_SECONDS)  # a slow device / stalled I/O
         handle.write(data)
         handle.flush()
 
@@ -391,6 +397,8 @@ class StorageIO:
             keep = synced_size + (size - synced_size) // 2
             handle.truncate(keep)
             raise SimulatedCrash(site)
+        if mode == MODE_DELAY:
+            time.sleep(FAULT_DELAY_SECONDS)  # a slow fsync
         if self.fsync_enabled:
             try:
                 os.fsync(handle.fileno())

@@ -85,6 +85,57 @@ class MemTable:
         self._count += 1
         self._bytes += len(key) + (len(value) if value is not None else 0)
 
+    def put_many(self, items) -> None:
+        """Insert a whole batch in one sorted pass over the skiplist.
+
+        ``items`` is an iterable of ``(key, value)`` pairs (``None``
+        values store tombstones).  The batch is sorted and inserted
+        with a *rolling* predecessor vector: each key's search resumes
+        from the previous key's predecessors instead of restarting at
+        the head, so an epoch-sized batch costs one forward walk of
+        the list plus O(log n) per level-crossing — the bulk-insert
+        path ``KVStore.write`` uses for a GC epoch's ``commit_batch``.
+        """
+        ordered = sorted(items, key=lambda kv: kv[0])
+        if not ordered:
+            return
+        update: list[_Node] = [self._head] * _MAX_LEVEL
+        for key, value in ordered:
+            node = self._head
+            for lvl in range(self._level - 1, -1, -1):
+                prev = update[lvl]
+                # Resume from whichever is further along: the node
+                # carried down from the level above, or this level's
+                # predecessor from the previous key.  Both precede
+                # ``key`` (keys only grow), so the max is safe.
+                if prev.key is not None and (
+                    node.key is None or prev.key > node.key
+                ):
+                    node = prev
+                nxt = node.forward[lvl]
+                while nxt is not None and nxt.key < key:
+                    node = nxt
+                    nxt = node.forward[lvl]
+                update[lvl] = node
+            candidate = update[0].forward[0]
+            if candidate is not None and candidate.key == key:
+                old = candidate.value
+                self._bytes -= len(old) if old is not None else 0
+                self._bytes += len(value) if value is not None else 0
+                candidate.value = value
+                continue
+            level = self._random_level()
+            if level > self._level:
+                self._level = level
+            new_node = _Node(key, value, level)
+            for lvl in range(level):
+                new_node.forward[lvl] = update[lvl].forward[lvl]
+                update[lvl].forward[lvl] = new_node
+            self._count += 1
+            self._bytes += len(key) + (
+                len(value) if value is not None else 0
+            )
+
     def get(self, key: bytes) -> tuple[bool, Optional[bytes]]:
         """Return ``(found, value)``; a found tombstone is ``(True, None)``."""
         node = self._head

@@ -126,13 +126,20 @@ class KVStore:
             self._maybe_flush()
 
     def write(self, batch: WriteBatch) -> None:
-        """Apply a whole batch atomically."""
+        """Apply a whole batch atomically.
+
+        One WAL append for the batch, then one sorted insertion pass
+        over the memtable (:meth:`MemTable.put_many`) instead of a
+        full-height skiplist descent per key — the write-batching half
+        of the group-commit work: a GC epoch's ``commit_batch`` costs
+        one pass however many records it staged.
+        """
         with self._lock:
             ops = list(batch.items())
             if self._wal is not None and ops:
                 self._wal.append(ops)
-            for key, value in ops:
-                self._memtable.put(key, value)
+            self._memtable.put_many(ops)
+            for _key, value in ops:
                 if value is None:
                     self.stats.deletes += 1
                 else:

@@ -36,7 +36,7 @@ from pathlib import Path
 from typing import BinaryIO, Iterator, Optional
 
 from repro.errors import CorruptionError
-from repro.faults import FAILPOINTS, StorageIO
+from repro.faults import FAILPOINTS, SimulatedCrash, StorageIO, torn_prefix
 from repro.kvstore.sstable import _read_varint, _write_varint
 
 _HEADER = struct.Struct(">II")
@@ -149,15 +149,27 @@ class WriteAheadLog:
     def durability_mode(self) -> str:
         return self._io.durability_mode
 
+    @property
+    def fsync_enabled(self) -> bool:
+        return self._io.fsync_enabled
+
     def _tmp_path(self) -> Path:
         return self._path.with_name(self._path.name + ".tmp")
 
-    def append(self, ops: list[tuple[bytes, Optional[bytes]]]) -> None:
-        """Durably append one atomic batch."""
+    def append(
+        self, ops: list[tuple[bytes, Optional[bytes]]], sync: bool = True
+    ) -> None:
+        """Durably append one atomic batch.
+
+        ``sync=False`` skips the per-append fsync so a group-commit
+        caller can append once and sync once for a whole batch of
+        logical records (the caller must invoke :meth:`sync` before
+        acknowledging anything from the batch).
+        """
         payload = _encode_batch(ops)
         record = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
         self._io.append(self._file, record, self._site_append)
-        if self._io.fsync_enabled:
+        if sync and self._io.fsync_enabled:
             self._synced = self._io.sync(
                 self._file, self._site_sync, self._synced
             )
@@ -165,6 +177,36 @@ class WriteAheadLog:
     def sync(self) -> None:
         """Force everything appended so far to the device."""
         self._synced = self._io.sync(self._file, self._site_sync, self._synced)
+
+    # -- failure-mode helpers (group-commit failpoint sites) -------------
+
+    def append_torn(
+        self, ops: list[tuple[bytes, Optional[bytes]]], site: str
+    ) -> None:
+        """A ``torn-write`` at batch granularity: half of the *whole
+        batch frame* reaches the file, then the process "dies".
+
+        Mirrors :meth:`repro.faults.StorageIO.append`'s torn-write
+        behaviour but is triggered by a caller-level failpoint site
+        (``wal.group.append``), so tests can tear exactly the combined
+        group-commit frame rather than an individual append.
+        """
+        payload = _encode_batch(ops)
+        record = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        self._file.write(torn_prefix(record))
+        self._file.flush()
+        raise SimulatedCrash(site)
+
+    def simulate_partial_fsync(self, site: str) -> None:
+        """A ``partial-fsync`` at batch granularity: the unsynced tail
+        is half-lost (the "dropped OS buffer"), then the process
+        "dies".  Triggered by a caller-level site (``wal.group.fsync``)
+        against bytes appended with ``sync=False``."""
+        self._file.flush()
+        size = self._file.tell()
+        keep = self._synced + (size - self._synced) // 2
+        self._file.truncate(keep)
+        raise SimulatedCrash(site)
 
     def close(self) -> None:
         if self._closed:

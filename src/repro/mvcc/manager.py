@@ -115,28 +115,31 @@ class TransactionManager:
                 commit_ts = self.oracle.peek() - 1
                 txn.commit_info.mark_committed(commit_ts)
                 del self._active[txn.id]
-                txn.run_commit_hooks(commit_ts)
-                return commit_ts
-            if commit_ts is None:
-                commit_ts = self.oracle.next()
             else:
-                if commit_ts < self.oracle.peek():
-                    raise TransactionStateError(
-                        f"replayed commit timestamp {commit_ts} is in the past"
-                    )
-                self.oracle.advance_to(commit_ts + 1)
-            for record, delta in txn.undo_buffer:
-                delta.tt_end = commit_ts
-                if delta.is_structural:
-                    record.tt_structure_start = commit_ts
+                if commit_ts is None:
+                    commit_ts = self.oracle.next()
                 else:
-                    record.tt_start = commit_ts
-            txn.commit_info.mark_committed(commit_ts)
-            del self._active[txn.id]
-            if txn.undo_buffer:
-                self.committed_pending_gc.append(txn)
-            txn.run_commit_hooks(commit_ts)
-            return commit_ts
+                    if commit_ts < self.oracle.peek():
+                        raise TransactionStateError(
+                            f"replayed commit timestamp {commit_ts} is in the past"
+                        )
+                    self.oracle.advance_to(commit_ts + 1)
+                for record, delta in txn.undo_buffer:
+                    delta.tt_end = commit_ts
+                    if delta.is_structural:
+                        record.tt_structure_start = commit_ts
+                    else:
+                        record.tt_start = commit_ts
+                txn.commit_info.mark_committed(commit_ts)
+                del self._active[txn.id]
+                if txn.undo_buffer:
+                    self.committed_pending_gc.append(txn)
+        # Hooks run outside the manager lock: they belong to the caller
+        # (admission-gate release, engine callbacks) and must not extend
+        # the MVCC critical section — a hook that blocks (e.g. on WAL
+        # backpressure) would otherwise stall every begin/commit/abort.
+        txn.run_commit_hooks(commit_ts)
+        return commit_ts
 
     def abort(self, txn: Transaction) -> None:
         """Roll back ``txn``'s in-place changes and unlink its deltas."""
@@ -160,7 +163,8 @@ class TransactionManager:
             txn.commit_info.mark_aborted()
             txn.undo_buffer.clear()
             del self._active[txn.id]
-            txn.run_abort_hooks()
+        # Outside the lock, same reasoning as in commit().
+        txn.run_abort_hooks()
 
     # -- watermarks -----------------------------------------------------------
 

@@ -293,6 +293,7 @@ class ReplicationState:
         self.counters = {
             "records_shipped": 0,
             "batches_shipped": 0,
+            "ring_batches": 0,
             "records_applied": 0,
             "batches_applied": 0,
             "apply_skipped": 0,
@@ -364,8 +365,27 @@ class ReplicationState:
     def note_commit(self, commit_ts: int, ops: list[tuple]) -> None:
         """Record one committed transaction for shipping (called by the
         engine's commit path, after the WAL append)."""
+        self.note_commit_batch([(commit_ts, ops)])
+
+    def note_commit_batch(
+        self, records: list[tuple[int, list[tuple]]]
+    ) -> None:
+        """Record a whole durable group-commit batch for shipping.
+
+        ``records`` must already be in commit-timestamp order (the
+        group-commit writer's queue order) — the ring is the shipping
+        stream's source of truth and fetchers assume monotonic
+        timestamps.  One ``notify_all`` covers the whole batch, so
+        semi-sync committers and long-poll fetchers wake once per
+        *batch*, not once per record.
+        """
+        if not records:
+            return
         with self._cond:
-            self._ring.append((commit_ts, ops))
+            self._ring.extend(records)
+            self.counters["ring_batches"] = (
+                self.counters.get("ring_batches", 0) + 1
+            )
             self._cond.notify_all()
 
     def note_applied(self) -> None:

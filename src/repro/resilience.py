@@ -112,6 +112,15 @@ class ResilienceConfig:
     ``begin(timeout=...)`` never expire.  ``watchdog_interval=0``
     disables the watchdog daemon — deadlines are then only enforced by
     explicit :meth:`AeonG.sweep_expired` calls (deterministic tests).
+
+    ``wal_queue_limit`` bounds the group-commit writer's submission
+    queue.  A committer whose record would overflow the queue blocks
+    (under the engine's commit lock) until the writer drains;
+    transactions piling up behind it are still holding their admission
+    slots, so sustained WAL pressure fills the :class:`AdmissionGate`,
+    which sheds *new* arrivals with
+    :class:`~repro.errors.OverloadError` instead of letting unbounded
+    memory build up behind a slow device.
     """
 
     max_concurrent_transactions: Optional[int] = None
@@ -123,6 +132,7 @@ class ResilienceConfig:
     breaker_reset_timeout: float = 1.0
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     clock: Callable[[], float] = time.monotonic
+    wal_queue_limit: int = 1024
 
     def __post_init__(self) -> None:
         if self.degraded_reads not in DEGRADED_POLICIES:
@@ -137,6 +147,8 @@ class ResilienceConfig:
             and self.max_concurrent_transactions < 1
         ):
             raise ValueError("max_concurrent_transactions must be >= 1")
+        if self.wal_queue_limit < 1:
+            raise ValueError("wal_queue_limit must be >= 1")
 
 
 class AdmissionGate:

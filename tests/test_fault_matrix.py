@@ -71,6 +71,13 @@ ENGINE_MATRIX = [
     ("kv.save.sst", "crash"),
     ("kv.save.manifest", "crash"),
     ("migration.commit_batch", "crash"),
+    # Batch-level sites on the group-commit write path: one hit per
+    # group-commit *epoch*, killing the whole batch frame before any
+    # of its commits is acknowledged.
+    ("wal.group.append", "crash"),
+    ("wal.group.append", "torn-write"),
+    ("wal.group.fsync", "crash"),
+    ("wal.group.fsync", "partial-fsync"),
 ]
 
 #: WAL-tearing combinations whose recovery must flag (and repair) a
@@ -78,6 +85,8 @@ ENGINE_MATRIX = [
 _TEARS_ENGINE_WAL = {
     ("engine.wal.append", "torn-write"),
     ("engine.wal.sync", "partial-fsync"),
+    ("wal.group.append", "torn-write"),
+    ("wal.group.fsync", "partial-fsync"),
 }
 
 
@@ -188,6 +197,152 @@ class TestEngineCrashMatrix:
         with db.transaction() as txn:
             assert db.get_vertex(txn, gid).properties["j"] == 990
         db.close()
+
+
+# -- group-commit batch faults ----------------------------------------------
+
+
+class TestGroupCommitBatchFaults:
+    """Deeper coverage of the ``wal.group.*`` batch sites beyond the
+    parametrized loop: error-mode delivery to every committer in the
+    batch, and a genuinely concurrent crash mid-batch recovering to a
+    prefix of *acked* commits only."""
+
+    @pytest.mark.parametrize(
+        "site", ["wal.group.append", "wal.group.fsync"]
+    )
+    def test_error_mode_fails_the_commit_without_acking(
+        self, tmp_path, site
+    ):
+        db = AeonG.open(
+            tmp_path / "data",
+            durability_mode="fsync",
+            gc_interval_transactions=0,
+        )
+        _commit_one(db, 0)
+        FAILPOINTS.activate(site, "error", nth=1, times=1)
+        with pytest.raises(FaultInjected):
+            _commit_one(db, 1)
+        FAILPOINTS.clear()
+        # A failed batch must not kill the writer: the next commit is
+        # durably acknowledged again.
+        gid = _commit_one(db, 2)
+        db.close()
+
+        db = AeonG.open(
+            tmp_path / "data",
+            durability_mode="fsync",
+            gc_interval_transactions=0,
+        )
+        recovered = _recovered_vertices(db)
+        assert gid in recovered and recovered[gid] == {"i": 2, "j": 20}
+        if site == "wal.group.append":
+            # The fault fired before the frame was written: the
+            # errored, never-acked commit must not be durable.
+            assert all(props["i"] != 1 for props in recovered.values())
+        else:
+            # At the fsync site the frame is already in the OS buffer;
+            # like any fully-logged unacked commit it *may* survive —
+            # but only all-or-nothing.
+            for props in recovered.values():
+                if props["i"] == 1:
+                    assert props == {"i": 1, "j": 10}
+        db.close()
+
+    @pytest.mark.parametrize(
+        "site,mode",
+        [
+            ("wal.group.append", "crash"),
+            ("wal.group.append", "torn-write"),
+            ("wal.group.fsync", "crash"),
+            ("wal.group.fsync", "partial-fsync"),
+        ],
+    )
+    def test_concurrent_crash_mid_batch_keeps_acked_prefix(
+        self, tmp_path, site, mode
+    ):
+        """8 concurrent committers, crash on the 3rd group-commit
+        batch: every acked commit survives recovery complete, nothing
+        beyond the acked set plus the (unacked) in-flight batch
+        surfaces, and replay lands via ``begin_replay``'s forced
+        packed-timestamp path."""
+        import threading
+
+        path = tmp_path / "data"
+        db = AeonG.open(
+            path, durability_mode="fsync", gc_interval_transactions=0
+        )
+        lock = threading.Lock()
+        attempted: dict[int, int] = {}
+        acked: dict[int, int] = {}
+        crashes: list[int] = []
+        start = threading.Barrier(8)
+        FAILPOINTS.activate(site, mode, nth=3, times=None)
+
+        def committer(worker: int) -> None:
+            start.wait()
+            for i in range(6):
+                tag = worker * 100 + i
+                txn = db.begin()
+                try:
+                    gid = db.create_vertex(txn, ["T"], {"i": tag})
+                    db.set_vertex_property(txn, gid, "j", tag * 10)
+                    with lock:
+                        attempted[gid] = tag
+                    db.commit(txn)
+                except SimulatedCrash:
+                    with lock:
+                        crashes.append(tag)
+                    return
+                with lock:
+                    acked[gid] = tag
+
+        threads = [
+            threading.Thread(target=committer, args=(w,)) for w in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        fired = FAILPOINTS.stats(site).fired
+        FAILPOINTS.clear()
+        assert fired >= 1, f"site {site} never fired"
+        assert crashes, "no committer observed the batch fault"
+        # The crashed engine is abandoned without close(), like a real
+        # process death.
+
+        db2 = AeonG.open(
+            path, durability_mode="fsync", gc_interval_transactions=0
+        )
+        report = db2.last_recovery
+        assert report is not None
+        # A crash mid-batch is expected residue, never corruption.
+        assert not report.corruption_detected
+        recovered = _recovered_vertices(db2)
+        for gid, tag in acked.items():
+            assert gid in recovered, f"acked commit {tag} lost"
+            assert recovered[gid] == {"i": tag, "j": tag * 10}, (
+                f"acked commit {tag} recovered incomplete"
+            )
+        # Nothing phantom: only acked commits, plus possibly members of
+        # the unacked in-flight batch whose frame was fully logged
+        # before the crash (fsync-crash mode) — and those must be
+        # complete, all-or-nothing.
+        assert set(recovered) <= set(attempted)
+        for gid in set(recovered) - set(acked):
+            tag = attempted[gid]
+            assert recovered[gid] == {"i": tag, "j": tag * 10}
+        if mode in ("torn-write", "partial-fsync"):
+            # A torn batch frame is discarded wholesale: recovery is
+            # exactly the acked prefix, and the tail was repaired.
+            assert set(recovered) == set(acked)
+            assert report.torn_tail
+            assert report.wal_repaired
+        # The reopened engine groups and commits again.
+        gid = _commit_one(db2, 7777)
+        with db2.transaction() as txn:
+            assert db2.get_vertex(txn, gid).properties["j"] == 77770
+        db2.close()
 
 
 # -- kvstore-level matrix ---------------------------------------------------

@@ -1,0 +1,502 @@
+"""Group commit + async WAL writer (``repro.core.write_path``).
+
+Covers the write-path rework's contracts:
+
+- **lock scope regression**: durability I/O (a deliberately slowed
+  ``engine.wal.append``) no longer blocks concurrent read-only
+  transactions — the engine lock covers only MVCC commit + enqueue;
+- **batching**: concurrent committers coalesce into shared frames, so
+  fsyncs-per-commit drops below one;
+- **backpressure**: a full writer queue blocks submitters instead of
+  growing without bound;
+- **semi-sync replication**: 8 concurrent semi-sync committers all get
+  acks, and the ring ingests batch-appended records in commit-ts order;
+- **durability**: every acked commit survives close/reopen in both
+  group and legacy modes;
+- **bulk KV insert**: ``MemTable.put_many`` is behaviourally identical
+  to repeated ``put``;
+- **parallel migration**: a worker-pool epoch produces byte-identical
+  history to a serial one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import repro.faults as faults_module
+from repro import AeonG
+from repro.errors import FaultInjected
+from repro.faults import FAILPOINTS
+from repro.kvstore.memtable import MemTable
+from repro.replication import ReplicationConfig
+from repro.resilience import ResilienceConfig
+
+pytestmark = pytest.mark.write_path
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    FAILPOINTS.clear()
+    yield
+    FAILPOINTS.clear()
+
+
+def _commit_one(db: AeonG, i: int) -> int:
+    txn = db.begin()
+    gid = db.create_vertex(txn, ["T"], {"i": i})
+    db.commit(txn)
+    return gid
+
+
+class TestLockScopeRegression:
+    """Satellite bugfix 1: the global engine lock is no longer held
+    across WAL append/fsync in ``engine.commit``."""
+
+    def test_slow_wal_append_does_not_block_readers(
+        self, tmp_path, monkeypatch
+    ):
+        """With a 0.8 s delay injected at ``engine.wal.append``, a
+        commit takes ≥ 0.8 s — but read-only transactions running
+        *during* that window finish in milliseconds.  On the seed
+        write path (append under the close lock) the reads would queue
+        behind the stalled commit."""
+        monkeypatch.setattr(faults_module, "FAULT_DELAY_SECONDS", 0.8)
+        db = AeonG.open(
+            tmp_path / "data",
+            durability_mode="fsync",
+            gc_interval_transactions=0,
+        )
+        gid = _commit_one(db, 0)  # something to read back
+        FAILPOINTS.activate("engine.wal.append", "delay", nth=1, times=None)
+        try:
+            commit_started = threading.Event()
+            commit_elapsed = []
+
+            def committer() -> None:
+                txn = db.begin()
+                db.create_vertex(txn, ["T"], {"i": 1})
+                commit_started.set()
+                t0 = time.monotonic()
+                db.commit(txn)
+                commit_elapsed.append(time.monotonic() - t0)
+
+            thread = threading.Thread(target=committer)
+            thread.start()
+            commit_started.wait(5.0)
+            time.sleep(0.1)  # let the commit reach the stalled append
+            t0 = time.monotonic()
+            for _ in range(10):
+                txn = db.begin()
+                try:
+                    assert db.get_vertex(txn, gid) is not None
+                finally:
+                    db.abort(txn)
+            reads_elapsed = time.monotonic() - t0
+            thread.join()
+        finally:
+            FAILPOINTS.clear()
+        assert commit_elapsed and commit_elapsed[0] >= 0.7, (
+            "the delay failpoint never stalled the commit"
+        )
+        # All ten reads together must finish well inside the stall.
+        assert reads_elapsed < 0.5, (
+            f"reads took {reads_elapsed:.3f}s — they queued behind the "
+            "stalled WAL append"
+        )
+        db.close()
+
+
+class TestGroupCommitBatching:
+    def test_concurrent_committers_share_frames_and_fsyncs(
+        self, tmp_path, monkeypatch
+    ):
+        """A slowed fsync forces coalescing: committers that arrive
+        while a batch is being synced all land in the next shared
+        frame, so batches < commits and fsyncs-per-commit < 1."""
+        monkeypatch.setattr(faults_module, "FAULT_DELAY_SECONDS", 0.02)
+        db = AeonG.open(
+            tmp_path / "data",
+            durability_mode="fsync",
+            gc_interval_transactions=0,
+        )
+        FAILPOINTS.activate("engine.wal.sync", "delay", nth=1, times=None)
+        try:
+            workers = 8
+            per_worker = 5
+            barrier = threading.Barrier(workers)
+
+            def committer(worker: int) -> None:
+                barrier.wait()
+                for i in range(per_worker):
+                    _commit_one(db, worker * 100 + i)
+
+            threads = [
+                threading.Thread(target=committer, args=(w,))
+                for w in range(workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            FAILPOINTS.clear()
+        stats = db.metrics()["write_path"]
+        total = workers * per_worker
+        assert stats["enabled"]
+        assert stats["commits_submitted"] >= total
+        assert stats["batches_written"] < stats["commits_submitted"], (
+            f"no batching happened: {stats}"
+        )
+        assert stats["max_batch"] >= 2
+        assert stats["fsyncs_per_commit"] < 1.0
+        db.close()
+
+        # Every acked commit is durable.
+        db = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        with db.transaction() as txn:
+            seen = {
+                db.get_vertex(txn, record.gid).properties["i"]
+                for record in db.storage.iter_vertex_records()
+                if db.get_vertex(txn, record.gid) is not None
+            }
+        assert seen == {
+            w * 100 + i for w in range(workers) for i in range(per_worker)
+        }
+        db.close()
+
+    def test_queue_limit_backpressure(self, tmp_path, monkeypatch):
+        """``wal_queue_limit=1`` plus a slow append: submitters must
+        block (counted) rather than queue without bound, and every
+        commit still lands."""
+        monkeypatch.setattr(faults_module, "FAULT_DELAY_SECONDS", 0.05)
+        db = AeonG.open(
+            tmp_path / "data",
+            durability_mode="fsync",
+            gc_interval_transactions=0,
+            resilience=ResilienceConfig(wal_queue_limit=1),
+        )
+        FAILPOINTS.activate("engine.wal.append", "delay", nth=1, times=None)
+        try:
+            threads = [
+                threading.Thread(target=_commit_one, args=(db, i))
+                for i in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            FAILPOINTS.clear()
+        stats = db.metrics()["write_path"]
+        assert stats["commits_submitted"] == 6
+        assert stats["records_written"] == 6
+        assert stats["backpressure_waits"] >= 1
+        assert stats["queue_depth"] == 0
+        db.close()
+
+    def test_group_commit_off_restores_legacy_path(self, tmp_path):
+        db = AeonG.open(
+            tmp_path / "data",
+            durability_mode="fsync",
+            gc_interval_transactions=0,
+            group_commit=False,
+        )
+        for i in range(4):
+            _commit_one(db, i)
+        stats = db.metrics()["write_path"]
+        assert not stats["enabled"]
+        assert stats["commits_submitted"] == 0
+        # The legacy path syncs once per commit: fsyncs == records.
+        assert stats["fsyncs_per_commit"] == 1.0
+        db.close()
+        db = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        with db.transaction() as txn:
+            count = sum(
+                1
+                for record in db.storage.iter_vertex_records()
+                if db.get_vertex(txn, record.gid) is not None
+            )
+        assert count == 4
+        db.close()
+
+    def test_error_in_batch_does_not_ack_and_writer_survives(
+        self, tmp_path
+    ):
+        db = AeonG.open(
+            tmp_path / "data",
+            durability_mode="fsync",
+            gc_interval_transactions=0,
+        )
+        FAILPOINTS.activate("wal.group.append", "error", nth=1, times=1)
+        with pytest.raises(FaultInjected):
+            _commit_one(db, 0)
+        FAILPOINTS.clear()
+        assert db.metrics()["write_path"]["batch_errors"] == 1
+        _commit_one(db, 1)  # the writer thread is still alive
+        db.close()
+
+
+class TestSemiSyncBatchOrdering:
+    """Satellite bugfix 2: the replication ring ingests batch-appended
+    records in commit-ts order, and semi-sync committers wake
+    per-batch."""
+
+    def test_eight_concurrent_semi_sync_committers(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(faults_module, "FAULT_DELAY_SECONDS", 0.01)
+        config = ReplicationConfig(sync_commit=True, sync_timeout=10.0)
+        db = AeonG.open(
+            tmp_path / "data",
+            durability_mode="fsync",
+            gc_interval_transactions=0,
+            replication=config,
+        )
+        repl = db.replication
+        repl.register_replica("r1", 0, repl.epoch)
+        stop = threading.Event()
+
+        def acker() -> None:
+            """A fake replica that instantly applies everything the
+            primary has durably committed."""
+            while not stop.is_set():
+                repl.ack("r1", repl.watermark(), repl.epoch)
+                time.sleep(0.002)
+
+        acker_thread = threading.Thread(target=acker, daemon=True)
+        acker_thread.start()
+        # Slow the fsync slightly so concurrent committers coalesce
+        # into real multi-record batches.
+        FAILPOINTS.activate("engine.wal.sync", "delay", nth=1, times=None)
+        workers = 8
+        per_worker = 4
+        barrier = threading.Barrier(workers)
+        failures: list[BaseException] = []
+
+        def committer(worker: int) -> None:
+            barrier.wait()
+            for i in range(per_worker):
+                try:
+                    _commit_one(db, worker * 100 + i)
+                except BaseException as exc:  # noqa: BLE001
+                    failures.append(exc)
+                    return
+
+        try:
+            threads = [
+                threading.Thread(target=committer, args=(w,))
+                for w in range(workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            FAILPOINTS.clear()
+            stop.set()
+            acker_thread.join()
+        assert not failures, f"semi-sync commit failed: {failures!r}"
+        assert repl.counters["sync_commit_timeouts"] == 0
+        assert repl.counters["sync_commit_waits"] >= workers * per_worker
+        # The ring must be strictly increasing in commit-ts even though
+        # records arrived via multi-record batches.
+        ring_ts = [ts for ts, _ops in repl._ring]
+        assert ring_ts == sorted(ring_ts)
+        assert len(ring_ts) == len(set(ring_ts))
+        assert len(ring_ts) == workers * per_worker
+        assert repl.counters["ring_batches"] >= 1
+        stats = db.metrics()["write_path"]
+        assert stats["batches_written"] <= stats["commits_submitted"]
+        db.close()
+
+    def test_replica_stream_sees_batched_records_in_order(self, tmp_path):
+        db = AeonG.open(
+            tmp_path / "data",
+            durability_mode="fsync",
+            gc_interval_transactions=0,
+        )
+        barrier = threading.Barrier(4)
+
+        def committer(worker: int) -> None:
+            barrier.wait()
+            for i in range(5):
+                _commit_one(db, worker * 100 + i)
+
+        threads = [
+            threading.Thread(target=committer, args=(w,)) for w in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        records = db.replication.records_from(1, limit=1000)
+        ts_list = [ts for ts, _ops in records]
+        assert ts_list == sorted(ts_list)
+        assert len(ts_list) == 20
+        db.close()
+
+
+class TestDurabilityAcrossReopen:
+    @pytest.mark.parametrize("group", [True, False])
+    def test_acked_commits_survive(self, tmp_path, group):
+        db = AeonG.open(
+            tmp_path / "data",
+            durability_mode="fsync",
+            gc_interval_transactions=0,
+            group_commit=group,
+        )
+        gids = [_commit_one(db, i) for i in range(10)]
+        db.close()
+        db = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        with db.transaction() as txn:
+            for i, gid in enumerate(gids):
+                view = db.get_vertex(txn, gid)
+                assert view is not None and view.properties["i"] == i
+        db.close()
+
+    def test_checkpoint_quiesces_the_writer(self, tmp_path):
+        db = AeonG.open(
+            tmp_path / "data",
+            durability_mode="fsync",
+            gc_interval_transactions=0,
+        )
+        for i in range(5):
+            _commit_one(db, i)
+        db.checkpoint()
+        # Post-checkpoint commits land in the (truncated) WAL.
+        gid = _commit_one(db, 99)
+        db.close()
+        db = AeonG.open(tmp_path / "data", gc_interval_transactions=0)
+        assert db.last_recovery.checkpoint_loaded
+        with db.transaction() as txn:
+            assert db.get_vertex(txn, gid).properties["i"] == 99
+        db.close()
+
+
+class TestMemtableBulkInsert:
+    def test_put_many_matches_sequential_puts(self):
+        import random
+
+        rng = random.Random(7)
+        reference = MemTable(seed=3)
+        bulk = MemTable(seed=3)
+        # Pre-populate both identically so the bulk pass hits existing
+        # keys (overwrites + tombstones), not just fresh inserts.
+        base = [
+            (f"k{rng.randrange(50):03d}".encode(), b"base")
+            for _ in range(30)
+        ]
+        for key, value in base:
+            reference.put(key, value)
+            bulk.put(key, value)
+        batch = []
+        for _ in range(80):
+            key = f"k{rng.randrange(80):03d}".encode()
+            value = (
+                None
+                if rng.random() < 0.2
+                else f"v{rng.randrange(1000)}".encode()
+            )
+            batch.append((key, value))
+        for key, value in batch:
+            reference.put(key, value)
+        bulk.put_many(batch)
+        assert list(bulk) == list(reference)
+        assert len(bulk) == len(reference)
+        assert bulk.approximate_bytes == reference.approximate_bytes
+        for key, _value in batch:
+            assert bulk.get(key) == reference.get(key)
+
+    def test_put_many_duplicate_keys_last_wins(self):
+        table = MemTable(seed=1)
+        table.put_many([(b"a", b"1"), (b"a", b"2"), (b"a", b"3")])
+        assert table.get(b"a") == (True, b"3")
+        assert len(table) == 1
+
+
+class TestParallelMigration:
+    def _workload(self, db: AeonG) -> list[int]:
+        gids = []
+        for i in range(12):
+            txn = db.begin()
+            gid = db.create_vertex(txn, ["P"], {"i": i, "v": 0})
+            db.commit(txn)
+            gids.append(gid)
+        for round_no in range(1, 4):
+            for gid in gids:
+                txn = db.begin()
+                db.set_vertex_property(txn, gid, "v", round_no)
+                db.commit(txn)
+        return gids
+
+    def test_parallel_epoch_matches_serial(self):
+        serial = AeonG(gc_interval_transactions=0, anchor_interval=2)
+        parallel = AeonG(
+            gc_interval_transactions=0,
+            anchor_interval=2,
+            migration_workers=4,
+        )
+        try:
+            gids_s = self._workload(serial)
+            gids_p = self._workload(parallel)
+            serial.collect_garbage()
+            parallel.collect_garbage()
+            assert parallel.metrics()["migration"]["parallel_epochs"] >= 1
+            report_s = serial.storage_report()
+            report_p = parallel.storage_report()
+            assert report_p.history_records == report_s.history_records
+            assert report_p.anchors == report_s.anchors
+            assert report_p.history_bytes == report_s.history_bytes
+            # Same temporal answers at every version of every object.
+            from repro.core.temporal import TemporalCondition
+
+            for t in range(1, serial.now() + 1):
+                txn_s = serial.begin()
+                txn_p = parallel.begin()
+                try:
+                    for gid_s, gid_p in zip(gids_s, gids_p):
+                        versions_s = [
+                            dict(v.properties)
+                            for v in serial.vertex_versions(
+                                txn_s, gid_s, TemporalCondition.as_of(t)
+                            )
+                        ]
+                        versions_p = [
+                            dict(v.properties)
+                            for v in parallel.vertex_versions(
+                                txn_p, gid_p, TemporalCondition.as_of(t)
+                            )
+                        ]
+                        assert versions_p == versions_s
+                finally:
+                    serial.abort(txn_s)
+                    parallel.abort(txn_p)
+        finally:
+            serial.close()
+            parallel.close()
+
+    def test_failed_parallel_epoch_rolls_back_and_retries(self):
+        db = AeonG(
+            gc_interval_transactions=0,
+            anchor_interval=2,
+            migration_workers=4,
+        )
+        try:
+            self._workload(db)
+            FAILPOINTS.activate(
+                "migration.commit_batch", "error", nth=1, times=1
+            )
+            from repro.errors import StorageError
+
+            with pytest.raises(StorageError):
+                db.collect_garbage()
+            FAILPOINTS.clear()
+            assert db.metrics()["migration"]["failed_epochs"] == 1
+            reclaimed = db.collect_garbage()  # requeued epoch succeeds
+            assert reclaimed > 0
+            assert db.metrics()["migration"]["failed_epochs"] == 1
+        finally:
+            db.close()
